@@ -1,0 +1,53 @@
+"""Shared configuration for the benchmark suite.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper's evaluation and asserts its qualitative *shape* (who wins, what gets
+shuffled, where the crossovers are) rather than absolute numbers — the
+substrate here is a simulator, not the authors' 64-worker Myria cluster.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE``: ``bench`` (default, ~1:40 of the paper's data) or
+  ``unit`` (tiny, for smoke-testing the suite in seconds).
+- ``REPRO_BENCH_WORKERS``: cluster size (default 64, as in the paper).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "64"))
+
+_GRID_CACHE: dict = {}
+
+
+def grid_for(name: str, enforce_memory: bool = True):
+    """Run (and cache) the full six-strategy grid for one workload."""
+    from repro.experiments import run_workload
+
+    key = (name, SCALE, WORKERS, enforce_memory)
+    if key not in _GRID_CACHE:
+        _GRID_CACHE[key] = run_workload(
+            name, scale=SCALE, workers=WORKERS, enforce_memory=enforce_memory
+        )
+    return _GRID_CACHE[key]
+
+
+def run_grid_benchmark(benchmark, name: str, enforce_memory: bool = True):
+    """Benchmark the grid computation once and return the grid."""
+    return benchmark.pedantic(
+        grid_for, args=(name, enforce_memory), rounds=1, iterations=1
+    )
+
+
+@pytest.fixture
+def workers():
+    return WORKERS
+
+
+@pytest.fixture
+def scale():
+    return SCALE

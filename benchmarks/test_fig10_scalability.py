@@ -1,0 +1,76 @@
+"""Fig. 10 — scalability of HC_TJ vs RS_HJ on Q1, 2 to 64 workers.
+
+Paper result: HC_TJ speeds up near-linearly to 64 workers while RS_HJ
+stops scaling beyond ~4 workers (skew dominates); the total number of
+tuples shuffled by HyperCube *grows* with cluster size (more replication),
+yet per-worker sort + join time keeps dropping because each worker
+processes less data.
+
+Shapes asserted: HC_TJ's speedup at 64 workers beats RS_HJ's; HC shuffle
+volume is non-decreasing in cluster size; per-worker HC_TJ work is
+decreasing in cluster size.
+"""
+
+from conftest import SCALE
+
+from repro.experiments import run_workload
+from repro.planner.plans import HC_TJ, RS_HJ
+
+CLUSTER_SIZES = (2, 4, 8, 16, 32, 64)
+
+
+def _run_scaling():
+    wall = {"HC_TJ": {}, "RS_HJ": {}}
+    shuffled = {}
+    per_worker_work = {}
+    for workers in CLUSTER_SIZES:
+        grid = run_workload(
+            "Q1",
+            scale=SCALE,
+            workers=workers,
+            strategies=[RS_HJ, HC_TJ],
+            enforce_memory=False,
+        )
+        for name in ("RS_HJ", "HC_TJ"):
+            wall[name][workers] = grid[name].stats.wall_clock
+        hc_stats = grid["HC_TJ"].stats
+        shuffled[workers] = hc_stats.tuples_shuffled
+        per_worker_work[workers] = hc_stats.total_cpu / workers
+    return wall, shuffled, per_worker_work
+
+
+def test_fig10_scalability(benchmark):
+    wall, shuffled, per_worker_work = benchmark.pedantic(
+        _run_scaling, rounds=1, iterations=1
+    )
+
+    print("\nFig. 10a — speedup vs 2 workers")
+    print(f"{'workers':>8} {'HC_TJ':>8} {'RS_HJ':>8}")
+    speedups = {}
+    for name in ("HC_TJ", "RS_HJ"):
+        base = wall[name][2]
+        speedups[name] = {w: base / wall[name][w] for w in CLUSTER_SIZES}
+    for workers in CLUSTER_SIZES:
+        print(
+            f"{workers:>8} {speedups['HC_TJ'][workers]:>8.2f} "
+            f"{speedups['RS_HJ'][workers]:>8.2f}"
+        )
+
+    print("\nFig. 10b — HC tuples shuffled by cluster size")
+    for workers in CLUSTER_SIZES:
+        print(f"{workers:>8} {shuffled[workers]:>12,}")
+
+    print("\nFig. 10c — HC_TJ per-worker work by cluster size")
+    for workers in CLUSTER_SIZES:
+        print(f"{workers:>8} {per_worker_work[workers]:>12,.0f}")
+
+    # (a) HC_TJ scales better than RS_HJ at full cluster size
+    assert speedups["HC_TJ"][64] > speedups["RS_HJ"][64]
+    # and HC_TJ achieves a substantial fraction of linear speedup
+    assert speedups["HC_TJ"][64] > 4.0
+
+    # (b) replication makes total shuffled volume grow with cluster size
+    assert shuffled[64] > shuffled[8] > shuffled[2]
+
+    # (c) per-worker work nevertheless keeps falling
+    assert per_worker_work[64] < per_worker_work[8] < per_worker_work[2]

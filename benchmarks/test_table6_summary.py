@@ -1,0 +1,91 @@
+"""Table 6 — summary of the extended evaluation across all eight queries.
+
+Paper columns per query: #tables, #join variables, cyclic?, input size,
+RS-shuffled size, HC-shuffled size, max RS skew, Time(RS_HJ)/Time(HC_TJ),
+and the winning configuration.  Headline paper findings encoded here:
+
+- every *cyclic* query with large intermediates and high RS skew is won by
+  HC_TJ (Q1, Q5, Q6, Q2; Q7 too, though acyclic);
+- the acyclic, selective Q3 is won by the regular shuffle;
+- cyclic queries whose HC cube replicates as much as RS shuffles (Q8) can
+  flip back to the traditional plan.
+
+Note: Q8's and Q4's winners are sensitive to the exact replication /
+intermediate balance; we assert the robust subset of the paper's table and
+report the full rows for inspection (see EXPERIMENTS.md for the
+paper-vs-measured discussion).
+"""
+
+from conftest import grid_for, run_grid_benchmark, SCALE
+
+from repro.experiments.harness import table6_row
+from repro.workloads import PAPER_ORDER, get_workload
+
+
+def _summary():
+    rows = []
+    for name in PAPER_ORDER:
+        workload = get_workload(name)
+        db = workload.dataset(SCALE)
+        grid = grid_for(name)
+        rows.append(table6_row(name, grid, db))
+    return rows
+
+
+def test_table6_summary(benchmark):
+    rows = benchmark.pedantic(_summary, rounds=1, iterations=1)
+
+    print("\nTable 6 — extended evaluation summary")
+    header = (
+        f"{'query':>6} {'tables':>7} {'joinvars':>9} {'cyclic':>7} "
+        f"{'input':>10} {'RS size':>12} {'HC size':>12} {'RS skew':>8} "
+        f"{'RS/HC time':>11} {'best':>7}"
+    )
+    print(header)
+    by_name = {}
+    for row in rows:
+        by_name[row["query"]] = row
+        rs = f"{row['rs_shuffled']:,}" if row["rs_shuffled"] else "FAIL"
+        ratio = (
+            f"{row['rs_over_hc_time']:.2f}"
+            if row["rs_over_hc_time"] == row["rs_over_hc_time"]
+            else "n/a"
+        )
+        print(
+            f"{row['query']:>6} {row['tables']:>7} {row['join_variables']:>9} "
+            f"{str(row['cyclic']):>7} {row['input_size']:>10,} {rs:>12} "
+            f"{row['hc_shuffled']:>12,} {row['rs_skew']:>8.2f} {ratio:>11} "
+            f"{row['best']:>7}"
+        )
+
+    # cyclicity column matches the paper exactly
+    expected_cyclic = {
+        "Q1": True, "Q7": False, "Q5": True, "Q6": True,
+        "Q2": True, "Q8": True, "Q3": False, "Q4": True,
+    }
+    for name, cyclic in expected_cyclic.items():
+        assert by_name[name]["cyclic"] == cyclic
+
+    # the cyclic Twitter queries are won by HC_TJ with RS/HC time >> 1
+    for name in ("Q1", "Q5", "Q6", "Q2"):
+        assert by_name[name]["best"] == "HC_TJ", name
+        assert by_name[name]["rs_over_hc_time"] > 2.0, name
+
+    # Q3 is won by the regular shuffle (RS/HC < 1)
+    assert by_name["Q3"]["best"] in ("RS_HJ", "RS_TJ")
+    assert by_name["Q3"]["rs_over_hc_time"] < 1.0
+
+    # the regular shuffle moves more data than HC on every cyclic
+    # Twitter query (far more where the intermediate blow-up is worst),
+    # and less on the selective Q3
+    for name in ("Q1", "Q5", "Q6", "Q2"):
+        row = by_name[name]
+        assert row["rs_shuffled"] > row["hc_shuffled"], name
+    if SCALE == "bench":
+        for name in ("Q1", "Q5"):
+            row = by_name[name]
+            assert row["rs_shuffled"] > 2 * row["hc_shuffled"], name
+    assert by_name["Q3"]["rs_shuffled"] < by_name["Q3"]["hc_shuffled"]
+
+    # RS skew is visible on the skewed Twitter data
+    assert by_name["Q1"]["rs_skew"] > 1.2

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Graphlet counting on a social network — the paper's motivating workload.
+
+The introduction cites Yaveroglu et al.: the structure of a complex network
+is characterized by counting small patterns ("graphlets") — triangles,
+rectangles, cliques — each of which is a *cyclic* self-join of the edge
+relation.  Traditional engines evaluate these with trees of binary joins and
+drown in intermediate results; the HyperCube shuffle + Tributary join
+combination evaluates each pattern in one communication round with no
+intermediates at all.
+
+This example counts three graphlets on a synthetic power-law graph and
+reports, for each, how much data a traditional plan shuffles versus the
+single-round HyperCube plan.
+
+Run with::
+
+    python examples/graphlet_counting.py
+"""
+
+from repro import run_query, twitter_database
+
+GRAPHLETS = {
+    "triangle (Q1)": (
+        "Tri(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)."
+    ),
+    "rectangle (Q5)": (
+        "Rect(x,y,z,p) :- R:Twitter(x,y), S:Twitter(y,z), "
+        "T:Twitter(z,p), K:Twitter(p,x)."
+    ),
+    "two-rings (Q6)": (
+        "Rings(x,y,z,p) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,p), "
+        "P:Twitter(p,x), K:Twitter(x,z)."
+    ),
+}
+
+
+def main() -> None:
+    database = twitter_database(nodes=1_500, edges=5_000)
+    edges = len(database["Twitter"])
+    print(f"network: {edges:,} directed edges\n")
+
+    header = (
+        f"{'graphlet':<18} {'count':>9} {'RS shuffled':>12} {'HC shuffled':>12} "
+        f"{'saving':>8} {'RS wall':>10} {'HC_TJ wall':>11}"
+    )
+    print(header)
+    for name, query in GRAPHLETS.items():
+        traditional = run_query(query, database, strategy="RS_HJ", workers=16)
+        hypercube = run_query(query, database, strategy="HC_TJ", workers=16)
+        assert set(traditional.rows) == set(hypercube.rows)
+        rs_sent = traditional.stats.tuples_shuffled
+        hc_sent = hypercube.stats.tuples_shuffled
+        saving = 1 - hc_sent / rs_sent if rs_sent else 0.0
+        print(
+            f"{name:<18} {len(hypercube.rows):>9,} {rs_sent:>12,} "
+            f"{hc_sent:>12,} {saving:>7.0%} "
+            f"{traditional.stats.wall_clock:>10,.0f} "
+            f"{hypercube.stats.wall_clock:>11,.0f}"
+        )
+
+    print(
+        "\nEach graphlet is cyclic, so the binary-join plan must shuffle a\n"
+        "huge path-shaped intermediate; the HyperCube plan only replicates\n"
+        "the input edges (paper Sec. 3: up to 98% less data transmitted)."
+    )
+
+
+if __name__ == "__main__":
+    main()

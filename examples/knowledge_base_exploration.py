@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Knowledge-base exploration — when the *traditional* plan wins.
+
+The paper is careful to show there is no overall best plan: its Freebase
+queries Q3 and Q7 start from highly selective name lookups ("Joe Pesci",
+"The Academy Awards"), so intermediates stay tiny and the regular shuffle
+beats HyperCube (which must replicate base data into a high-dimensional
+cube).  This example reproduces both queries on the synthetic knowledge
+base, compares all three shuffles, and also runs the Sec. 3.6 semijoin plan
+for Q3/Q7 — showing, as the paper found, that the extra semijoin rounds do
+not pay off on these queries.
+
+Run with::
+
+    python examples/knowledge_base_exploration.py
+"""
+
+from repro import freebase_database, run_query
+from repro.workloads import Q3, Q7
+
+
+def main() -> None:
+    database = freebase_database()
+    sizes = ", ".join(
+        f"{name}={len(rel):,}" for name, rel in database.relations().items()
+    )
+    print(f"knowledge base: {sizes}\n")
+
+    for query, description in (
+        (Q3, "Q3: cast members of films starring Joe Pesci AND Robert De Niro"),
+        (Q7, "Q7: actors honored by the Academy Awards in the 90s"),
+    ):
+        print(description)
+        print(
+            f"  {'strategy':>8} {'wall clock':>12} {'total CPU':>12} "
+            f"{'shuffled':>10} {'answers':>8}"
+        )
+        reference = None
+        for strategy in ("RS_HJ", "RS_TJ", "BR_HJ", "HC_HJ", "HC_TJ", "SJ_HJ"):
+            result = run_query(query, database, strategy=strategy, workers=16)
+            rows = set(result.rows)
+            if reference is None:
+                reference = rows
+            assert rows == reference, f"{strategy} disagrees"
+            stats = result.stats
+            print(
+                f"  {strategy:>8} {stats.wall_clock:>12,.0f} "
+                f"{stats.total_cpu:>12,.0f} {stats.tuples_shuffled:>10,} "
+                f"{len(rows):>8}"
+            )
+        # decode a couple of answers to show the dictionary round-trip
+        sample = [database.decode(row[0]) for row in list(reference)[:3]]
+        print(f"  sample answers (entity ids): {sample}\n")
+
+    print(
+        "Expected shape (paper Figs. 6/15, Sec. 3.6): the regular shuffle\n"
+        "moves the least data on Q3 (selective first join), HyperCube's\n"
+        "high-dimensional cube replicates too much, and the semijoin plan's\n"
+        "extra communication rounds cancel its savings."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Tuning the Tributary join's variable order — the paper's Sec. 5.
+
+LFTJ-style joins are worst-case optimal under *any* global variable order,
+but "worst case" can be far from typical: Table 7 of the paper shows up to
+~100x between a random order and the one picked by its cost model.  The
+model estimates the number of binary searches from ordinary statistics
+(cardinalities and distinct-prefix counts).
+
+This example mirrors the paper's methodology on Q8 (actor/director pairs,
+six-way cyclic join): draw random variable orders, estimate each one's cost,
+run the join for real, and compare against the order the model picks.
+
+Run with::
+
+    python examples/variable_order_tuning.py
+"""
+
+import statistics
+
+from repro import best_join_order, estimate_order_cost
+from repro.leapfrog.tributary import TributaryJoin
+from repro.leapfrog.variable_order import enumerate_join_orders, full_variable_order
+from repro.query import Catalog
+from repro.storage import FreebaseConfig, freebase_database
+from repro.workloads import Q8
+
+
+def main() -> None:
+    # deliberately tiny: pathological orders can be ~100x worse and we run
+    # a dozen of them
+    database = freebase_database(
+        FreebaseConfig(
+            actors=200,
+            films=80,
+            performances=600,
+            directors=25,
+            filler_objects=1_000,
+            honors=100,
+            awards=5,
+        )
+    )
+    catalog = Catalog(database)
+    relations = {
+        atom.alias: database[atom.relation] for atom in Q8.atoms
+    }
+
+    print("query: Q8 (actor/director pairs in two films, 6-way cyclic join)")
+    print(f"{'order':<28} {'estimated cost':>15} {'actual seeks':>13}")
+    from repro.leapfrog.tributary import SeekBudgetExceeded
+
+    seek_cap = 2_000_000  # the paper terminated queries after 1,000s
+    sampled = list(enumerate_join_orders(Q8, sample=12, seed=4))
+    actual_seeks = {}
+    for order in sampled:
+        estimate = estimate_order_cost(Q8, catalog, order)
+        join = TributaryJoin(
+            Q8, relations, order=full_variable_order(Q8, order),
+            max_seeks=seek_cap,
+        )
+        try:
+            join.run()
+            seeks = join.total_seeks()
+            note = ""
+        except SeekBudgetExceeded:
+            seeks = seek_cap
+            note = "  (terminated)"
+        actual_seeks[order] = seeks
+        label = "<".join(v.name for v in order)
+        print(f"{label:<28} {estimate.cost:>15,.0f} {seeks:>13,}{note}")
+
+    best = best_join_order(Q8, catalog)
+    join = TributaryJoin(
+        Q8, relations, order=full_variable_order(Q8, best.order)
+    )
+    join.run()
+    best_label = "<".join(v.name for v in best.order)
+    random_mean = statistics.mean(actual_seeks.values())
+    print(f"\ncost model picks: {best_label}")
+    print(f"its actual seeks: {join.total_seeks():,}")
+    print(f"random-order mean seeks: {random_mean:,.0f}")
+    print(
+        f"speedup over a random order: {random_mean / join.total_seeks():.1f}x "
+        f"(worst sampled: {max(actual_seeks.values()) / join.total_seeks():.1f}x)"
+    )
+    print(
+        "\nThe estimates need not be exact — the paper's Fig. 12 only claims\n"
+        "a positive correlation — but picking the min-cost order avoids the\n"
+        "pathological orders that dominate a random draw (Table 7: up to\n"
+        "~100x on Q8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

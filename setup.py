@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (this environment has no `wheel` package,
+so PEP-517 editable builds fail; `pip install -e . --no-use-pep517` uses this)."""
+
+from setuptools import setup
+
+setup()

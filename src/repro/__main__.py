@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run       Execute a Datalog query on a built-in dataset under one strategy.
+grid      Run one of the paper's workloads (Q1..Q8) under all six
+          configurations and print the paper-style figure.
+config    Show the fractional shares and the Algorithm-1 integral
+          configuration for a query on a cluster size.
+workloads List the registered workloads.
+
+Examples
+--------
+::
+
+    python -m repro run "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)." \
+        --dataset twitter --strategy HC_TJ --workers 16
+    python -m repro grid Q1 --workers 16 --scale unit
+    python -m repro config Q2 --workers 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments.harness import format_figure, run_workload
+from .hypercube.config import optimize_config
+from .hypercube.shares import fractional_shares
+from .planner.api import run_query
+from .query.catalog import cardinalities_for
+from .query.parser import parse_query
+from .storage.generators import freebase_database, twitter_database
+from .workloads.registry import PAPER_ORDER, WORKLOADS, get_workload
+
+
+def _dataset(name: str):
+    if name == "twitter":
+        return twitter_database()
+    if name == "freebase":
+        return freebase_database()
+    raise SystemExit(f"unknown dataset {name!r}; use 'twitter' or 'freebase'")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    database = _dataset(args.dataset)
+    result = run_query(
+        args.query, database, strategy=args.strategy, workers=args.workers
+    )
+    stats = result.stats
+    if result.failed:
+        print(f"FAILED: {stats.failure}")
+        return 1
+    print(f"results:         {len(result.rows):,}")
+    print(f"tuples shuffled: {stats.tuples_shuffled:,}")
+    print(f"wall clock:      {stats.wall_clock:,.0f} work units")
+    print(f"total CPU:       {stats.total_cpu:,.0f} work units")
+    if result.hc_config is not None:
+        print(f"hypercube:       {result.hc_config}")
+    if args.show_rows:
+        for row in result.rows[: args.show_rows]:
+            print("  ", row)
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    grid = run_workload(
+        args.workload,
+        scale=args.scale,
+        workers=args.workers,
+        enforce_memory=not args.no_memory_budget,
+    )
+    print(format_figure(grid, f"{args.workload} ({args.scale}, p={args.workers})"))
+    print(f"consistent: {grid.consistent()}  best: {grid.best_strategy()}")
+    return 0
+
+
+def _cmd_config(args: argparse.Namespace) -> int:
+    if args.workload_or_query in WORKLOADS:
+        workload = get_workload(args.workload_or_query)
+        query = workload.query
+        cards = dict(cardinalities_for(query, workload.dataset(args.scale)))
+    else:
+        query = parse_query(args.workload_or_query)
+        cards = {atom.alias: args.cardinality for atom in query.atoms}
+    shares = fractional_shares(query, cards, args.workers)
+    config = optimize_config(query, cards, args.workers)
+    print(f"query:             {query}")
+    print(
+        "fractional shares: "
+        + ", ".join(f"{v.name}={s:.3f}" for v, s in shares.shares.items())
+    )
+    print(f"Algorithm 1:       {config}  (uses {config.workers_used} workers)")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    for name in PAPER_ORDER:
+        workload = WORKLOADS[name]
+        kind = "cyclic" if workload.cyclic else "acyclic"
+        print(f"{name}: {len(workload.query.atoms)} atoms, {kind}, "
+              f"paper best {workload.paper_best} — {workload.query}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="HyperCube shuffle + Tributary join on a simulated cluster",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = commands.add_parser("run", help="execute one query")
+    run_cmd.add_argument("query", help="Datalog rule text")
+    run_cmd.add_argument("--dataset", default="twitter",
+                         choices=("twitter", "freebase"))
+    run_cmd.add_argument("--strategy", default="HC_TJ")
+    run_cmd.add_argument("--workers", type=int, default=16)
+    run_cmd.add_argument("--show-rows", type=int, default=0,
+                         help="print the first N result rows")
+    run_cmd.set_defaults(func=_cmd_run)
+
+    grid_cmd = commands.add_parser("grid", help="run a workload's 6-config grid")
+    grid_cmd.add_argument("workload", choices=sorted(WORKLOADS))
+    grid_cmd.add_argument("--workers", type=int, default=64)
+    grid_cmd.add_argument("--scale", default="bench", choices=("unit", "bench"))
+    grid_cmd.add_argument("--no-memory-budget", action="store_true")
+    grid_cmd.set_defaults(func=_cmd_grid)
+
+    config_cmd = commands.add_parser(
+        "config", help="show shares + integral configuration"
+    )
+    config_cmd.add_argument(
+        "workload_or_query", help="a workload name (Q1..Q8) or a Datalog rule"
+    )
+    config_cmd.add_argument("--workers", type=int, default=64)
+    config_cmd.add_argument("--scale", default="bench", choices=("unit", "bench"))
+    config_cmd.add_argument(
+        "--cardinality", type=int, default=1_000_000,
+        help="assumed relation size for ad-hoc queries",
+    )
+    config_cmd.set_defaults(func=_cmd_config)
+
+    list_cmd = commands.add_parser("workloads", help="list the paper's queries")
+    list_cmd.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The simulated shared-nothing execution engine."""
+
+from .cluster import Cluster
+from .frame import Frame, atom_frame, frame_relation
+from .hash_join import apply_comparisons, join_output_variables, symmetric_hash_join
+from .local import dedup_rows, local_tributary_join, scanned_query
+from .memory import MemoryBudget, OutOfMemoryError
+from .shuffle import broadcast, hash_row, hypercube_shuffle, regular_shuffle
+from .stats import ExecutionStats, ShuffleRecord, skew_factor
+
+__all__ = [
+    "Cluster",
+    "ExecutionStats",
+    "Frame",
+    "MemoryBudget",
+    "OutOfMemoryError",
+    "ShuffleRecord",
+    "apply_comparisons",
+    "atom_frame",
+    "broadcast",
+    "dedup_rows",
+    "frame_relation",
+    "hash_row",
+    "hypercube_shuffle",
+    "join_output_variables",
+    "local_tributary_join",
+    "regular_shuffle",
+    "scanned_query",
+    "skew_factor",
+]

@@ -1,0 +1,85 @@
+"""Frames: variable-labelled tuple sets flowing between operators.
+
+Once an atom's relation is scanned, columns stop being attribute names and
+become *query variables*; every operator downstream of the scan (shuffles,
+joins, projections) is defined over variables.  A :class:`Frame` is that
+runtime unit: an ordered tuple of variables plus rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, Union
+
+from ..query.atoms import Atom, Variable
+from ..storage.relation import Relation
+
+Encoder = Callable[[Union[int, str]], int]
+
+
+@dataclass
+class Frame:
+    """Rows labelled by query variables."""
+
+    variables: tuple[Variable, ...]
+    rows: list[tuple[int, ...]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError(f"duplicate variables in frame: {self.variables}")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def index_of(self, variable: Variable) -> int:
+        try:
+            return self.variables.index(variable)
+        except ValueError:
+            raise KeyError(f"frame has no variable {variable!r}") from None
+
+    def indices_of(self, variables: Sequence[Variable]) -> tuple[int, ...]:
+        return tuple(self.index_of(v) for v in variables)
+
+    def project(self, variables: Sequence[Variable], dedup: bool = False) -> "Frame":
+        indices = self.indices_of(variables)
+        projected = (tuple(row[i] for i in indices) for row in self.rows)
+        rows = list(dict.fromkeys(projected)) if dedup else list(projected)
+        return Frame(tuple(variables), rows)
+
+    def empty_like(self) -> "Frame":
+        return Frame(self.variables, [])
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"Frame([{names}], {len(self.rows)} rows)"
+
+
+def atom_frame(
+    atom: Atom,
+    relation: Relation,
+    encoder: Encoder,
+) -> Frame:
+    """Scan an atom: apply constant selections and repeated-variable filters
+    (selection pushdown, paper footnote 3), and relabel columns as the
+    atom's variables."""
+    rows = relation.rows
+    for position, constant in atom.constants():
+        value = encoder(constant.value)
+        rows = [row for row in rows if row[position] == value]
+    variables = atom.variables()
+    for variable in variables:
+        positions = atom.positions_of(variable)
+        if len(positions) > 1:
+            first = positions[0]
+            rows = [
+                row for row in rows if all(row[p] == row[first] for p in positions)
+            ]
+    indices = [atom.positions_of(v)[0] for v in variables]
+    if indices == list(range(len(relation.columns))) and rows is relation.rows:
+        return Frame(variables, list(rows))
+    return Frame(variables, [tuple(row[i] for i in indices) for row in rows])
+
+
+def frame_relation(frame: Frame, name: str) -> Relation:
+    """View a frame as a storage relation (columns named by variables)."""
+    return Relation(name, tuple(v.name for v in frame.variables), frame.rows)

@@ -1,0 +1,98 @@
+"""Symmetric (pipelined) hash join and left-deep pipelines over frames.
+
+This is the paper's baseline join operator: "creates a hash table for each
+of its two inputs; when data arrives on an input, the join inserts it into a
+hash table and probes the other hash table for matches".  In the simulator
+the symmetry matters for cost accounting — both inputs are fully hashed, so
+we charge one build unit per input tuple, one probe unit per input tuple,
+and one unit per output tuple; both hash tables plus the materialized output
+count against worker memory.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional, Sequence
+
+from ..query.atoms import Comparison, Variable
+from .frame import Frame
+from .memory import MemoryBudget
+from .stats import ExecutionStats
+
+
+def join_output_variables(
+    left: Sequence[Variable], right: Sequence[Variable]
+) -> tuple[Variable, ...]:
+    """Left variables followed by the right's new variables."""
+    left_set = set(left)
+    return tuple(left) + tuple(v for v in right if v not in left_set)
+
+
+def symmetric_hash_join(
+    left: Frame,
+    right: Frame,
+    join_vars: Sequence[Variable],
+    worker: int,
+    stats: ExecutionStats,
+    phase: str,
+    memory: Optional[MemoryBudget] = None,
+) -> Frame:
+    """Join two frames on ``join_vars`` (cross product when empty)."""
+    output_variables = join_output_variables(left.variables, right.variables)
+    left_key = left.indices_of(join_vars)
+    right_key = right.indices_of(join_vars)
+    right_extra = [
+        i for i, v in enumerate(right.variables) if v not in set(left.variables)
+    ]
+
+    table: dict[tuple[int, ...], list[tuple[int, ...]]] = defaultdict(list)
+    for row in left.rows:
+        table[tuple(row[i] for i in left_key)].append(row)
+
+    output_rows: list[tuple[int, ...]] = []
+    for row in right.rows:
+        matches = table.get(tuple(row[i] for i in right_key))
+        if not matches:
+            continue
+        extra = tuple(row[i] for i in right_extra)
+        for left_row in matches:
+            output_rows.append(left_row + extra)
+
+    # build units + probe units + output materialization
+    work = 2 * (len(left.rows) + len(right.rows)) + len(output_rows)
+    stats.charge(worker, work, phase)
+    if memory is not None:
+        # the hash tables are built over buffers already charged at shuffle
+        # receive time; only the produced output adds resident tuples.  (The
+        # Tributary path, by contrast, charges an extra sorted copy of its
+        # inputs — that difference is what makes RS_TJ hit the budget first,
+        # the paper's Fig. 9 failure mode.)
+        memory.allocate(worker, len(output_rows), phase)
+        stats.record_memory(worker, memory.resident(worker))
+    return Frame(output_variables, output_rows)
+
+
+def apply_comparisons(
+    frame: Frame,
+    comparisons: Sequence[Comparison],
+    worker: int,
+    stats: ExecutionStats,
+    phase: str,
+) -> tuple[Frame, list[Comparison]]:
+    """Apply every comparison whose variables are all present in the frame.
+
+    Returns the filtered frame and the comparisons that remain deferred.
+    """
+    available = set(frame.variables)
+    ready = [c for c in comparisons if set(c.variables()) <= available]
+    deferred = [c for c in comparisons if set(c.variables()) - available]
+    if not ready:
+        return frame, deferred
+    index = {v: i for i, v in enumerate(frame.variables)}
+    kept: list[tuple[int, ...]] = []
+    for row in frame.rows:
+        binding = {v: row[i] for v, i in index.items()}
+        if all(comparison.evaluate(binding) for comparison in ready):
+            kept.append(row)
+    stats.charge(worker, len(frame.rows), phase)
+    return Frame(frame.variables, kept), deferred

@@ -1,0 +1,65 @@
+"""Per-worker memory budgets and the OOM failure mode.
+
+The paper's engines are in-memory; when a plan materializes an intermediate
+result that exceeds worker memory, the query fails (Fig. 9: RS_TJ on Q4
+"fails because it runs out of memory").  The simulator models worker memory
+as a tuple budget: operators register the tuples they hold resident and
+exceeding the budget raises :class:`OutOfMemoryError`, which the executor
+reports as a FAIL outcome rather than crashing the benchmark run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class OutOfMemoryError(RuntimeError):
+    """A worker exceeded its tuple budget while materializing data."""
+
+    def __init__(self, worker: int, phase: str, resident: int, budget: int) -> None:
+        super().__init__(
+            f"worker {worker} out of memory in phase {phase!r}: "
+            f"{resident} resident tuples > budget {budget}"
+        )
+        self.worker = worker
+        self.phase = phase
+        self.resident = resident
+        self.budget = budget
+
+
+@dataclass
+class MemoryBudget:
+    """Tracks resident tuples per worker against an optional hard budget.
+
+    ``per_worker_tuples=None`` disables the limit (used by correctness
+    tests); workloads set it to emulate the paper's cluster memory.
+    """
+
+    per_worker_tuples: Optional[int] = None
+    _resident: dict[int, int] = field(default_factory=dict)
+    _peak: dict[int, int] = field(default_factory=dict)
+
+    def allocate(self, worker: int, tuples: int, phase: str = "") -> None:
+        resident = self._resident.get(worker, 0) + tuples
+        self._resident[worker] = resident
+        if resident > self._peak.get(worker, 0):
+            self._peak[worker] = resident
+        if self.per_worker_tuples is not None and resident > self.per_worker_tuples:
+            raise OutOfMemoryError(worker, phase, resident, self.per_worker_tuples)
+
+    def release(self, worker: int, tuples: int) -> None:
+        self._resident[worker] = max(0, self._resident.get(worker, 0) - tuples)
+
+    def release_all(self, worker: int) -> None:
+        self._resident[worker] = 0
+
+    def resident(self, worker: int) -> int:
+        return self._resident.get(worker, 0)
+
+    def peak(self, worker: int) -> int:
+        return self._peak.get(worker, 0)
+
+    def reset(self) -> None:
+        self._resident.clear()
+        self._peak.clear()

@@ -1,0 +1,157 @@
+"""The three shuffle algorithms compared throughout the paper (Sec. 3).
+
+1. **Regular shuffle** — hash-partition a frame on its join attribute(s).
+   Vulnerable to value skew: all tuples of a heavy-hitter value land on one
+   consumer (Table 2's consumer skew of 1.35/1.72 on the Twitter data and
+   20.8 after the first join).
+2. **Broadcast** — keep the largest relation in place, copy every other
+   relation to all workers (``|R| * p`` tuples sent, Table 4).
+3. **HyperCube shuffle** — route every base tuple to its hypercube
+   coordinates in a single round, replicating along the unconstrained
+   dimensions (Table 3: ``|R| * p^(1/3)`` for the triangle query, skew
+   ~1.05 because every value is hashed into only ``p^(1/3)`` buckets).
+
+Every shuffle records tuples sent, producer skew, and consumer skew into
+:class:`~repro.engine.stats.ExecutionStats`, charges 1 work unit per tuple
+sent (producer side) and 1 per tuple received (consumer side) — so consumer
+skew translates into wall-clock penalty exactly as the paper observes — and
+registers received tuples against the consumers' memory budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..hypercube.mapping import HyperCubeMapping
+from ..query.atoms import Atom, Variable
+from .frame import Frame
+from .memory import MemoryBudget
+from .stats import ExecutionStats
+
+_KNUTH = 2654435761
+_MASK = 0xFFFFFFFF
+
+
+def hash_row(values: Sequence[int], salt: int = 0) -> int:
+    """Deterministic multiplicative hash of a key tuple."""
+    mixed = salt
+    for value in values:
+        mixed = ((mixed ^ value) * _KNUTH) & _MASK
+        mixed ^= mixed >> 16
+    return mixed
+
+
+def _charge_shuffle(
+    stats: ExecutionStats,
+    phase: str,
+    sent: Sequence[int],
+    received: Sequence[int],
+    memory: Optional[MemoryBudget],
+) -> None:
+    for worker, count in enumerate(sent):
+        if count:
+            stats.charge(worker, count, phase)
+    for worker, count in enumerate(received):
+        if count:
+            stats.charge(worker, count, phase)
+        if memory is not None:
+            memory.allocate(worker, count, phase)
+            stats.record_memory(worker, memory.resident(worker))
+
+
+def regular_shuffle(
+    frames: Sequence[Frame],
+    key: Sequence[Variable],
+    workers: int,
+    stats: ExecutionStats,
+    name: str,
+    phase: str,
+    memory: Optional[MemoryBudget] = None,
+    salt: int = 0,
+) -> list[Frame]:
+    """Hash-partition per-worker frames on the key variables."""
+    if not frames:
+        raise ValueError("no input frames")
+    variables = frames[0].variables
+    key_indices = frames[0].indices_of(key)
+    outputs: list[list[tuple[int, ...]]] = [[] for _ in range(workers)]
+    sent = [0] * len(frames)
+    for producer, frame in enumerate(frames):
+        for row in frame.rows:
+            destination = (
+                hash_row([row[i] for i in key_indices], salt) % workers
+            )
+            outputs[destination].append(row)
+            sent[producer] += 1
+    received = [len(rows) for rows in outputs]
+    stats.record_shuffle(name, sent, received)
+    _charge_shuffle(stats, phase, sent, received, memory)
+    return [Frame(variables, rows) for rows in outputs]
+
+
+def broadcast(
+    frames: Sequence[Frame],
+    workers: int,
+    stats: ExecutionStats,
+    name: str,
+    phase: str,
+    memory: Optional[MemoryBudget] = None,
+) -> list[Frame]:
+    """Replicate the union of all fragments to every worker."""
+    variables = frames[0].variables
+    all_rows: list[tuple[int, ...]] = []
+    sent = [0] * len(frames)
+    for producer, frame in enumerate(frames):
+        all_rows.extend(frame.rows)
+        sent[producer] = len(frame.rows) * workers
+    received = [len(all_rows)] * workers
+    stats.record_shuffle(name, sent, received)
+    _charge_shuffle(stats, phase, sent, received, memory)
+    return [Frame(variables, list(all_rows)) for _ in range(workers)]
+
+
+def hypercube_shuffle(
+    frames: Sequence[Frame],
+    atom: Atom,
+    mapping: HyperCubeMapping,
+    workers: int,
+    stats: ExecutionStats,
+    name: str,
+    phase: str,
+    memory: Optional[MemoryBudget] = None,
+) -> list[Frame]:
+    """Route each tuple of ``atom`` to its hypercube coordinates.
+
+    The frame's variables must be the atom's variables (the scan output);
+    hashing uses the per-dimension hash functions of ``mapping``.  Workers
+    beyond ``mapping.workers_used`` receive nothing (the optimal integral
+    configuration may leave machines idle, paper Sec. 4).
+    """
+    variables = frames[0].variables
+    if set(variables) != set(atom.variables()):
+        raise ValueError(
+            f"frame variables {variables} do not match atom {atom.alias}"
+        )
+    # mapping.destinations expects rows in the atom's own term layout;
+    # build a remapped accessor from frame layout to atom positions.
+    frame_index = {v: i for i, v in enumerate(variables)}
+    atom_layout = [frame_index[v] for v in atom.variables()]
+    # destinations() reads row[position] where position indexes atom terms;
+    # construct pseudo-rows in term order (first occurrence per variable).
+    term_positions = {v: atom.positions_of(v)[0] for v in atom.variables()}
+    width = max(term_positions.values()) + 1
+
+    outputs: list[list[tuple[int, ...]]] = [[] for _ in range(workers)]
+    sent = [0] * len(frames)
+    for producer, frame in enumerate(frames):
+        for row in frame.rows:
+            pseudo = [0] * width
+            for variable, layout_index in zip(atom.variables(), atom_layout):
+                pseudo[term_positions[variable]] = row[layout_index]
+            for destination in mapping.destinations(atom, pseudo):
+                outputs[destination].append(row)
+                sent[producer] += 1
+    received = [len(rows) for rows in outputs]
+    stats.record_shuffle(name, sent, received)
+    _charge_shuffle(stats, phase, sent, received, memory)
+    return [Frame(variables, rows) for rows in outputs]

@@ -1,0 +1,163 @@
+"""Execution statistics — the metrics every figure and table reports.
+
+The paper measures three things per configuration (Figs. 3/4/6/9/13/14/15/17):
+wall-clock time, total CPU time across workers, and the number of tuples
+shuffled; plus per-shuffle load-balance detail (Tables 2-4): tuples sent and
+producer/consumer skew (max load / average load).
+
+The simulator reproduces these as *counted* quantities:
+
+- each shuffle records tuples sent per producer and received per consumer;
+- each local operator charges work units (tuples built/probed/sorted/sought)
+  to its worker within a named *phase*;
+- ``total_cpu`` is the sum of all charges; ``wall_clock`` is the sum over
+  phases of the maximum per-worker charge — the paper's observation that the
+  runtime of a communication round is the runtime of its slowest worker.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+def skew_factor(loads: Iterable[float]) -> float:
+    """max / average over non-negative loads (1.0 for empty or all-zero)."""
+    loads = list(loads)
+    if not loads:
+        return 1.0
+    total = sum(loads)
+    if total == 0:
+        return 1.0
+    return max(loads) / (total / len(loads))
+
+
+@dataclass
+class ShuffleRecord:
+    """One shuffle operation's load-balance summary (a row of Tables 2-4)."""
+
+    name: str
+    tuples_sent: int
+    producer_skew: float
+    consumer_skew: float
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.name}: sent={self.tuples_sent} "
+            f"prod_skew={self.producer_skew:.2f} cons_skew={self.consumer_skew:.2f}"
+        )
+
+
+@dataclass
+class ExecutionStats:
+    """All metrics collected while executing one (query, strategy) pair."""
+
+    query: str = ""
+    strategy: str = ""
+    workers: int = 0
+    shuffles: list[ShuffleRecord] = field(default_factory=list)
+    result_count: int = 0
+    failed: bool = False
+    failure: str = ""
+    elapsed_seconds: float = 0.0
+    #: phase name -> worker -> charged work units
+    _phase_loads: dict[str, dict[int, float]] = field(default_factory=dict)
+    #: per-worker high-water materialized tuple count
+    peak_memory: dict[int, int] = field(default_factory=dict)
+
+    # -- recording ----------------------------------------------------------
+
+    def charge(self, worker: int, amount: float, phase: str) -> None:
+        """Charge ``amount`` work units to ``worker`` within ``phase``."""
+        loads = self._phase_loads.setdefault(phase, defaultdict(float))
+        loads[worker] += amount
+
+    def record_shuffle(
+        self,
+        name: str,
+        sent_per_producer: Iterable[float],
+        received_per_consumer: Iterable[float],
+    ) -> ShuffleRecord:
+        sent = list(sent_per_producer)
+        received = list(received_per_consumer)
+        record = ShuffleRecord(
+            name=name,
+            tuples_sent=int(sum(sent)),
+            producer_skew=skew_factor(sent),
+            consumer_skew=skew_factor(received),
+        )
+        self.shuffles.append(record)
+        return record
+
+    def record_memory(self, worker: int, resident_tuples: int) -> None:
+        previous = self.peak_memory.get(worker, 0)
+        if resident_tuples > previous:
+            self.peak_memory[worker] = resident_tuples
+
+    def mark_failed(self, reason: str) -> None:
+        self.failed = True
+        self.failure = reason
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def tuples_shuffled(self) -> int:
+        """Total tuples sent over the (simulated) network — Figs. 3c, 4c, ..."""
+        return sum(record.tuples_sent for record in self.shuffles)
+
+    @property
+    def total_cpu(self) -> float:
+        """Sum of work units over all workers and phases — Figs. 3b, 4b, ..."""
+        return sum(
+            amount
+            for loads in self._phase_loads.values()
+            for amount in loads.values()
+        )
+
+    @property
+    def wall_clock(self) -> float:
+        """Sum over phases of the slowest worker's charge — Figs. 3a, 4a, ..."""
+        return sum(
+            max(loads.values(), default=0.0) for loads in self._phase_loads.values()
+        )
+
+    def phase_wall(self, phase: str) -> float:
+        loads = self._phase_loads.get(phase, {})
+        return max(loads.values(), default=0.0)
+
+    def phase_cpu(self, phase: str) -> float:
+        return sum(self._phase_loads.get(phase, {}).values())
+
+    def phases(self) -> tuple[str, ...]:
+        return tuple(self._phase_loads)
+
+    def worker_loads(self, phase: Optional[str] = None) -> dict[int, float]:
+        """Per-worker total charge, optionally restricted to one phase."""
+        if phase is not None:
+            return dict(self._phase_loads.get(phase, {}))
+        totals: dict[int, float] = defaultdict(float)
+        for loads in self._phase_loads.values():
+            for worker, amount in loads.items():
+                totals[worker] += amount
+        return dict(totals)
+
+    @property
+    def cpu_skew(self) -> float:
+        """max/avg per-worker total CPU — the Fig. 8 'long tail' metric."""
+        loads = self.worker_loads()
+        full = [loads.get(w, 0.0) for w in range(max(self.workers, 1))]
+        return skew_factor(full)
+
+    @property
+    def max_consumer_skew(self) -> float:
+        """Worst consumer skew over all shuffles — Table 6's 'RS Skew (max)'."""
+        return max((r.consumer_skew for r in self.shuffles), default=1.0)
+
+    def summary(self) -> str:
+        status = "FAIL" if self.failed else "ok"
+        return (
+            f"{self.query}/{self.strategy} [{status}] "
+            f"wall={self.wall_clock:.0f} cpu={self.total_cpu:.0f} "
+            f"shuffled={self.tuples_shuffled} results={self.result_count}"
+        )

@@ -1,0 +1,25 @@
+"""Experiment drivers shared by the benchmark suite."""
+
+from .harness import (
+    GridResult,
+    figure_rows,
+    format_figure,
+    format_shuffle_table,
+    input_size,
+    run_grid,
+    run_workload,
+    shuffle_rows,
+    table6_row,
+)
+
+__all__ = [
+    "GridResult",
+    "figure_rows",
+    "format_figure",
+    "format_shuffle_table",
+    "input_size",
+    "run_grid",
+    "run_workload",
+    "shuffle_rows",
+    "table6_row",
+]

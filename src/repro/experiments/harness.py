@@ -1,0 +1,232 @@
+"""Shared experiment harness: run the 6-configuration grid of the paper.
+
+Every figure of the form "query X under RS/BR/HC x HJ/TJ" (Figs. 3, 4, 6, 9,
+13, 14, 15, 17) is produced by :func:`run_grid`; the load-balance tables
+(Tables 2-4), the operator breakdown (Table 5), and the summary (Table 6)
+read the collected :class:`~repro.engine.stats.ExecutionStats`.
+
+Expensive per-query artifacts (the left-deep plan and the Tributary variable
+order) are computed once and shared across the six runs, exactly as a real
+optimizer would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..engine.cluster import Cluster
+from ..engine.memory import MemoryBudget
+from ..planner.binary import LeftDeepPlan, left_deep_plan, plan_from_order
+from ..planner.executor import ExecutionResult, execute
+from ..planner.plans import ALL_STRATEGIES, Strategy
+from ..query.atoms import ConjunctiveQuery, Variable
+from ..query.catalog import Catalog
+from ..leapfrog.variable_order import best_join_order, full_variable_order
+from ..storage.relation import Database
+from ..workloads.registry import get_workload
+
+
+@dataclass
+class GridResult:
+    """Results of one query under every requested strategy."""
+
+    query: ConjunctiveQuery
+    workers: int
+    results: dict[str, ExecutionResult] = field(default_factory=dict)
+    variable_order: tuple[Variable, ...] = ()
+    plan: Optional[LeftDeepPlan] = None
+
+    def __getitem__(self, strategy: str) -> ExecutionResult:
+        return self.results[strategy]
+
+    def strategies(self) -> tuple[str, ...]:
+        return tuple(self.results)
+
+    def consistent(self) -> bool:
+        """All non-failed strategies returned the same result set."""
+        row_sets = [
+            frozenset(result.rows)
+            for result in self.results.values()
+            if not result.failed
+        ]
+        return len(set(row_sets)) <= 1
+
+    def best_strategy(self) -> str:
+        """The non-failed strategy with the lowest modeled wall clock
+        (``"FAIL"`` when every configuration failed)."""
+        candidates = {
+            name: result.stats.wall_clock
+            for name, result in self.results.items()
+            if not result.failed
+        }
+        if not candidates:
+            return "FAIL"
+        return min(candidates, key=lambda name: candidates[name])
+
+
+def run_grid(
+    query: ConjunctiveQuery,
+    database: Database,
+    workers: int = 64,
+    strategies: Sequence[Strategy] = ALL_STRATEGIES,
+    memory_tuples: Optional[int] = None,
+    plan_order: Optional[Sequence[str]] = None,
+) -> GridResult:
+    """Run ``query`` under each strategy on fresh clusters over ``database``."""
+    catalog = Catalog(database)
+    if plan_order is not None:
+        plan = plan_from_order(query, catalog, plan_order)
+    else:
+        plan = left_deep_plan(query, catalog)
+    order = full_variable_order(query, best_join_order(query, catalog).order)
+    grid = GridResult(
+        query=query, workers=workers, variable_order=order, plan=plan
+    )
+    for strategy in strategies:
+        cluster = Cluster(workers, MemoryBudget(per_worker_tuples=memory_tuples))
+        cluster.load(database)
+        grid.results[strategy.name] = execute(
+            query,
+            cluster,
+            strategy,
+            catalog=catalog,
+            variable_order=order,
+            plan=plan,
+        )
+    return grid
+
+
+def run_workload(
+    name: str,
+    scale: str = "bench",
+    workers: int = 64,
+    strategies: Sequence[Strategy] = ALL_STRATEGIES,
+    enforce_memory: bool = True,
+) -> GridResult:
+    """Run one registered workload (Q1..Q8) through the strategy grid."""
+    workload = get_workload(name)
+    database = workload.dataset(scale)
+    memory = workload.memory_tuples if (enforce_memory and scale == "bench") else None
+    return run_grid(
+        workload.query,
+        database,
+        workers=workers,
+        strategies=strategies,
+        memory_tuples=memory,
+        plan_order=workload.rs_plan_order,
+    )
+
+
+# ----------------------------------------------------------------------
+# Formatting: paper-style rows
+# ----------------------------------------------------------------------
+
+
+def figure_rows(grid: GridResult) -> list[dict[str, object]]:
+    """One row per strategy with the three panel metrics of Figs. 3/4/6/9."""
+    rows = []
+    for name, result in grid.results.items():
+        stats = result.stats
+        rows.append(
+            {
+                "strategy": name,
+                "failed": result.failed,
+                "wall_clock": stats.wall_clock,
+                "total_cpu": stats.total_cpu,
+                "tuples_shuffled": stats.tuples_shuffled,
+                "results": stats.result_count,
+                "elapsed_seconds": stats.elapsed_seconds,
+            }
+        )
+    return rows
+
+
+def format_figure(grid: GridResult, title: str) -> str:
+    """Render the three-panel figure as an aligned text table."""
+    lines = [title, "-" * len(title)]
+    header = (
+        f"{'config':>8} {'wall clock':>14} {'total CPU':>14} "
+        f"{'tuples shuffled':>16} {'results':>9}"
+    )
+    lines.append(header)
+    for row in figure_rows(grid):
+        if row["failed"]:
+            lines.append(
+                f"{row['strategy']:>8} {'FAIL':>14} {'FAIL':>14} {'FAIL':>16} {'-':>9}"
+            )
+            continue
+        lines.append(
+            f"{row['strategy']:>8} {row['wall_clock']:>14,.0f} "
+            f"{row['total_cpu']:>14,.0f} {row['tuples_shuffled']:>16,} "
+            f"{row['results']:>9,}"
+        )
+    return "\n".join(lines)
+
+
+def shuffle_rows(result: ExecutionResult) -> list[dict[str, object]]:
+    """Per-shuffle load-balance rows (the format of Tables 2-4)."""
+    return [
+        {
+            "shuffle": record.name,
+            "tuples_sent": record.tuples_sent,
+            "producer_skew": record.producer_skew,
+            "consumer_skew": record.consumer_skew,
+        }
+        for record in result.stats.shuffles
+    ]
+
+
+def format_shuffle_table(result: ExecutionResult, title: str) -> str:
+    """Render per-shuffle load balance in the paper's Tables 2-4 format."""
+    lines = [title, "-" * len(title)]
+    lines.append(
+        f"{'shuffle':<48} {'tuples sent':>12} {'prod skew':>10} {'cons skew':>10}"
+    )
+    total = 0
+    for row in shuffle_rows(result):
+        total += int(row["tuples_sent"])
+        lines.append(
+            f"{str(row['shuffle']):<48} {row['tuples_sent']:>12,} "
+            f"{row['producer_skew']:>10.2f} {row['consumer_skew']:>10.2f}"
+        )
+    lines.append(f"{'Total':<48} {total:>12,} {'N.A.':>10} {'N.A.':>10}")
+    return "\n".join(lines)
+
+
+def input_size(query: ConjunctiveQuery, database: Database) -> int:
+    """Total input tuples over the query's atoms (self-join copies counted
+    once per atom, as the paper's Table 6 'Input size' does)."""
+    return sum(len(database[atom.relation]) for atom in query.atoms)
+
+
+def table6_row(
+    name: str,
+    grid: GridResult,
+    database: Database,
+) -> dict[str, object]:
+    """One row of the paper's Table 6 summary."""
+    from ..query.hypergraph import Hypergraph
+
+    query = grid.query
+    rs = grid.results.get("RS_HJ")
+    hc = grid.results.get("HC_TJ")
+    rs_failed = rs is None or rs.failed
+    hc_failed = hc is None or hc.failed
+    ratio = (
+        rs.stats.wall_clock / hc.stats.wall_clock
+        if not rs_failed and not hc_failed and hc.stats.wall_clock
+        else float("nan")
+    )
+    return {
+        "query": name,
+        "tables": len(query.atoms),
+        "join_variables": len(query.join_variables()),
+        "cyclic": Hypergraph(query).is_cyclic(),
+        "input_size": input_size(query, database),
+        "rs_shuffled": rs.stats.tuples_shuffled if not rs_failed else None,
+        "hc_shuffled": hc.stats.tuples_shuffled if not hc_failed else None,
+        "rs_skew": rs.stats.max_consumer_skew if not rs_failed else None,
+        "rs_over_hc_time": ratio,
+        "best": grid.best_strategy(),
+    }

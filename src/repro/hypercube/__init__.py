@@ -1,0 +1,44 @@
+"""HyperCube shuffle theory: shares, integral configurations, cell allocation."""
+
+from .cells import (
+    CellAllocation,
+    allocation_workload,
+    coverage_fractions,
+    greedy_cell_allocation,
+    random_cell_allocation,
+)
+from .config import (
+    HyperCubeConfig,
+    config_from_sizes,
+    config_workload,
+    enumerate_configs,
+    optimize_config,
+    round_down_config,
+)
+from .mapping import HyperCubeMapping
+from .shares import (
+    FractionalShares,
+    expected_load,
+    fractional_shares,
+    optimal_fractional_workload,
+    replication_factor,
+)
+
+__all__ = [
+    "CellAllocation",
+    "FractionalShares",
+    "HyperCubeConfig",
+    "HyperCubeMapping",
+    "allocation_workload",
+    "config_from_sizes",
+    "config_workload",
+    "coverage_fractions",
+    "enumerate_configs",
+    "expected_load",
+    "fractional_shares",
+    "greedy_cell_allocation",
+    "optimal_fractional_workload",
+    "optimize_config",
+    "random_cell_allocation",
+    "replication_factor",
+]

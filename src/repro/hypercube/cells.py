@@ -1,0 +1,172 @@
+"""Virtual-cell HyperCube configurations (the paper's Naïve Algorithms 2/3).
+
+Sections 4's middle two approaches decouple the hypercube size from the
+physical cluster: the cube is built over ``M >> N`` virtual *cells* and a
+many-to-one map sends cells to the ``N`` physical workers.  Random
+assignment (Naïve Algorithm 2) destroys locality — each worker ends up
+covering almost every row and column of the cube, so nearly every relation
+is broadcast to it (Appendix B / Fig. 18).  Computing the optimal assignment
+(Naïve Algorithm 3) is a hard combinatorial problem; the paper reports >24h
+with a state-of-the-art ASP solver for N=64, M=100, which is why their final
+algorithm abandons virtual cells altogether.  We provide the random
+allocator and a greedy locality-preserving allocator as a tractable stand-in
+for Algorithm 3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..query.atoms import ConjunctiveQuery, Variable
+from .config import HyperCubeConfig, round_down_config
+from .shares import fractional_shares
+
+
+@dataclass(frozen=True)
+class CellAllocation:
+    """A cube over virtual cells plus a cell -> physical worker map."""
+
+    config: HyperCubeConfig
+    workers: int
+    assignment: tuple[int, ...]  # linear cell id -> worker id
+
+    @property
+    def cells(self) -> int:
+        return len(self.assignment)
+
+    def cells_of_worker(self, worker: int) -> list[tuple[int, ...]]:
+        dims = self.config.dim_sizes()
+        coordinates = list(itertools.product(*(range(d) for d in dims)))
+        return [
+            coordinates[cell]
+            for cell, assigned in enumerate(self.assignment)
+            if assigned == worker
+        ]
+
+
+def _cell_coordinates(config: HyperCubeConfig) -> list[tuple[int, ...]]:
+    return list(itertools.product(*(range(d) for d in config.dim_sizes())))
+
+
+def _atom_dim_indices(
+    query: ConjunctiveQuery, order: Sequence[Variable]
+) -> dict[str, tuple[int, ...]]:
+    """Per atom alias, the cube dimension indices its variables bind."""
+    result = {}
+    for atom in query.atoms:
+        atom_vars = set(atom.variables())
+        result[atom.alias] = tuple(
+            i for i, variable in enumerate(order) if variable in atom_vars
+        )
+    return result
+
+
+def allocation_workload(
+    query: ConjunctiveQuery,
+    cardinalities: Mapping[str, int],
+    allocation: CellAllocation,
+) -> float:
+    """Maximum expected data load over the physical workers.
+
+    A worker assigned cells ``C`` receives, from relation ``R_j``, one slab
+    of size ``|R_j| / prod_{i in vars_j} d_i`` for every *distinct projection*
+    of ``C`` onto the dimensions bound by ``R_j`` — cells sharing a projection
+    share the same slab, which is exactly the locality random allocation
+    squanders.
+    """
+    config = allocation.config
+    coordinates = _cell_coordinates(config)
+    dim_indices = _atom_dim_indices(query, config.order)
+    dims = config.dim_sizes()
+
+    loads = [0.0] * allocation.workers
+    for atom in query.atoms:
+        indices = dim_indices[atom.alias]
+        slab = cardinalities[atom.alias]
+        for index in indices:
+            slab /= dims[index]
+        projections: list[set[tuple[int, ...]]] = [
+            set() for _ in range(allocation.workers)
+        ]
+        for cell, worker in enumerate(allocation.assignment):
+            projections[worker].add(tuple(coordinates[cell][i] for i in indices))
+        for worker in range(allocation.workers):
+            loads[worker] += slab * len(projections[worker])
+    return max(loads) if loads else 0.0
+
+
+def _cells_config(
+    query: ConjunctiveQuery,
+    cardinalities: Mapping[str, int],
+    cells: int,
+) -> HyperCubeConfig:
+    """Step 1 of Naïve Algorithms 2/3: LP over ``M`` cells, rounded down."""
+    fractional = fractional_shares(query, cardinalities, cells)
+    return round_down_config(query, cardinalities, cells, fractional)
+
+
+def random_cell_allocation(
+    query: ConjunctiveQuery,
+    cardinalities: Mapping[str, int],
+    workers: int,
+    cells: int = 4096,
+    seed: int = 0,
+) -> CellAllocation:
+    """Naïve Algorithm 2: many cells, assigned to workers uniformly at random."""
+    config = _cells_config(query, cardinalities, cells)
+    used = config.workers_used
+    rng = np.random.default_rng(seed)
+    assignment = tuple(int(w) for w in rng.integers(0, workers, size=used))
+    return CellAllocation(config=config, workers=workers, assignment=assignment)
+
+
+def greedy_cell_allocation(
+    query: ConjunctiveQuery,
+    cardinalities: Mapping[str, int],
+    workers: int,
+    cells: int = 4096,
+) -> CellAllocation:
+    """A tractable stand-in for Naïve Algorithm 3 (optimal allocation).
+
+    Walks the cells in lexicographic (row-major) order and deals them to
+    workers in equal contiguous blocks.  Contiguous blocks keep each worker's
+    projections onto prefix dimensions small, recovering most of the locality
+    random assignment destroys — while the exact optimum is the >24h ASP
+    problem the paper rejects as impractical.
+    """
+    config = _cells_config(query, cardinalities, cells)
+    used = config.workers_used
+    assignment = [0] * used
+    block = max(1, -(-used // workers))  # ceil division
+    for cell in range(used):
+        assignment[cell] = min(workers - 1, cell // block)
+    return CellAllocation(config=config, workers=workers, assignment=tuple(assignment))
+
+
+def coverage_fractions(allocation: CellAllocation) -> list[dict[int, float]]:
+    """Per worker, the fraction of each dimension's hash range it covers.
+
+    Appendix B's Fig. 18 observation: with random allocation every worker
+    covers nearly all of every dimension, so (for the path query there)
+    almost the entire ``R`` and ``T`` relations are sent to every worker.
+    """
+    config = allocation.config
+    coordinates = _cell_coordinates(config)
+    dims = config.dim_sizes()
+    result = []
+    for worker in range(allocation.workers):
+        owned = [
+            coordinates[cell]
+            for cell, assigned in enumerate(allocation.assignment)
+            if assigned == worker
+        ]
+        fractions: dict[int, float] = {}
+        for dim_index, dim in enumerate(dims):
+            values = {coordinate[dim_index] for coordinate in owned}
+            fractions[dim_index] = len(values) / dim if dim else 0.0
+        result.append(fractions)
+    return result

@@ -1,0 +1,40 @@
+"""Worst-case-optimal joins: the Tributary join (LFTJ over sorted arrays or
+B-trees), the NPRR-style Generic Join, and the variable-order optimizer."""
+
+from .btree_iterator import BTreeTrieIterator
+from .generic_join import GenericJoin, GenericJoinStats, generic_join
+from .iterator import TrieIterator
+from .tributary import (
+    BACKENDS,
+    SeekBudgetExceeded,
+    TributaryJoin,
+    TributaryStats,
+    prepare_atom,
+    tributary_join,
+)
+from .variable_order import (
+    OrderCost,
+    best_join_order,
+    enumerate_join_orders,
+    estimate_order_cost,
+    full_variable_order,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BTreeTrieIterator",
+    "GenericJoin",
+    "GenericJoinStats",
+    "OrderCost",
+    "SeekBudgetExceeded",
+    "TributaryJoin",
+    "TributaryStats",
+    "TrieIterator",
+    "best_join_order",
+    "enumerate_join_orders",
+    "estimate_order_cost",
+    "full_variable_order",
+    "generic_join",
+    "prepare_atom",
+    "tributary_join",
+]

@@ -1,0 +1,150 @@
+"""Variable-order optimization for the Tributary join (paper Sec. 5).
+
+LFTJ is worst-case optimal for *any* global variable order, but in practice
+a bad order can be orders of magnitude slower (Table 7 shows up to ~100x).
+The paper's cost model estimates the number of binary searches a given order
+will trigger:
+
+- ``S_1 = min over atoms containing the first variable of V(R_j, first var)``
+  — the smallest active domain bounds the first-level intersection;
+- ``S_i = min over atoms containing variable i of
+  V(R_j, p_{i,j}) / V(R_j, p_{i-1,j})`` — the expected number of distinct
+  values of variable ``i`` inside one residual relation, estimated from
+  distinct-prefix statistics;
+- ``Cost = S_1 + S_1*S_2 + S_1*S_2*S_3 + ...`` (the recursion of Eq. 4).
+
+Non-join variables do not constrain anything and are appended after the
+join variables, as in the paper ("a global order of all attributes that
+participate in the join").
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from ..query.atoms import Atom, ConjunctiveQuery, Variable
+from ..query.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class OrderCost:
+    """A candidate variable order with its estimated cost."""
+
+    order: tuple[Variable, ...]
+    cost: float
+    step_sizes: tuple[float, ...]
+
+
+def _atom_prefix_positions(
+    atom: Atom, order: Sequence[Variable], upto: int
+) -> list[int]:
+    """Attribute positions of the atom's variables among ``order[:upto]``."""
+    prefix_vars = [v for v in order[:upto] if v in atom.variables()]
+    return [atom.positions_of(v)[0] for v in prefix_vars]
+
+
+def estimate_order_cost(
+    query: ConjunctiveQuery,
+    catalog: Catalog,
+    join_order: Sequence[Variable],
+) -> OrderCost:
+    """Estimated number of binary searches for a join-variable order."""
+    join_order = tuple(join_order)
+    step_sizes: list[float] = []
+    for i, variable in enumerate(join_order, start=1):
+        candidates: list[float] = []
+        for atom in query.atoms:
+            if variable not in atom.variables():
+                continue
+            prefix_i = _atom_prefix_positions(atom, join_order, i)
+            prefix_prev = _atom_prefix_positions(atom, join_order, i - 1)
+            v_i = catalog.atom_prefix_count_positions(atom, prefix_i)
+            if i == 1 or not prefix_prev:
+                candidates.append(float(v_i))
+                continue
+            v_prev = catalog.atom_prefix_count_positions(atom, prefix_prev)
+            if prefix_i == prefix_prev:
+                # the atom gained no new attribute at this step; it does not
+                # constrain the intersection here
+                continue
+            candidates.append(v_i / max(1, v_prev))
+        step_sizes.append(min(candidates) if candidates else 1.0)
+
+    cost = 0.0
+    product = 1.0
+    for size in step_sizes:
+        product *= size
+        cost += product
+    return OrderCost(order=join_order, cost=cost, step_sizes=tuple(step_sizes))
+
+
+def enumerate_join_orders(
+    query: ConjunctiveQuery,
+    limit: Optional[int] = None,
+    sample: Optional[int] = None,
+    seed: int = 0,
+) -> Iterator[tuple[Variable, ...]]:
+    """Permutations of the join variables.
+
+    With ``sample`` set, draws that many random permutations (the paper's
+    Fig. 12 methodology draws 20 random orders per query); otherwise yields
+    all ``n!`` orders, truncated to ``limit`` when given.
+    """
+    join_vars = list(query.join_variables())
+    if sample is not None:
+        rng = random.Random(seed)
+        seen: set[tuple[Variable, ...]] = set()
+        attempts = 0
+        while len(seen) < sample and attempts < sample * 50:
+            candidate = tuple(rng.sample(join_vars, len(join_vars)))
+            attempts += 1
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+        return
+    for index, order in enumerate(itertools.permutations(join_vars)):
+        if limit is not None and index >= limit:
+            return
+        yield order
+
+
+def best_join_order(
+    query: ConjunctiveQuery,
+    catalog: Catalog,
+    limit: int = 5040,
+    seed: int = 0,
+) -> OrderCost:
+    """The join-variable order with the minimum estimated cost.
+
+    Exhaustive while ``n!`` fits in ``limit`` (7 join variables by default);
+    beyond that, scores ``limit`` random orders instead — still cutting
+    runtimes by orders of magnitude per Table 7 while staying fast.
+    """
+    join_vars = list(query.join_variables())
+    factorial = math.factorial(len(join_vars))
+    if factorial <= limit:
+        orders = enumerate_join_orders(query)
+    else:
+        orders = enumerate_join_orders(query, sample=limit, seed=seed)
+    best: Optional[OrderCost] = None
+    for order in orders:
+        candidate = estimate_order_cost(query, catalog, order)
+        if best is None or candidate.cost < best.cost:
+            best = candidate
+    if best is None:
+        return OrderCost(order=(), cost=0.0, step_sizes=())
+    return best
+
+
+def full_variable_order(
+    query: ConjunctiveQuery, join_order: Sequence[Variable]
+) -> tuple[Variable, ...]:
+    """Extend a join-variable order with the non-join variables (appended
+    last, in query order) so it covers every body variable."""
+    join_set = set(join_order)
+    tail = [v for v in query.variables() if v not in join_set]
+    return tuple(join_order) + tuple(tail)

@@ -1,0 +1,44 @@
+"""Plan strategies, the distributed executor, and the semijoin planner."""
+
+from .api import make_cluster, run_all_strategies, run_query
+from .binary import LeftDeepPlan, left_deep_plan, shared_variables
+from .explain import Explanation, explain
+from .executor import ExecutionResult, execute, run_regular_pipeline
+from .plans import (
+    ALL_STRATEGIES,
+    BR_HJ,
+    BR_TJ,
+    HC_HJ,
+    HC_TJ,
+    RS_HJ,
+    RS_TJ,
+    JoinKind,
+    ShuffleKind,
+    Strategy,
+)
+from .semijoin import execute_semijoin
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "BR_HJ",
+    "BR_TJ",
+    "ExecutionResult",
+    "Explanation",
+    "HC_HJ",
+    "HC_TJ",
+    "JoinKind",
+    "LeftDeepPlan",
+    "RS_HJ",
+    "RS_TJ",
+    "ShuffleKind",
+    "Strategy",
+    "execute",
+    "explain",
+    "execute_semijoin",
+    "left_deep_plan",
+    "make_cluster",
+    "run_all_strategies",
+    "run_query",
+    "run_regular_pipeline",
+    "shared_variables",
+]

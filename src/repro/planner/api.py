@@ -1,0 +1,79 @@
+"""Top-level convenience API.
+
+>>> from repro import run_query, twitter_database
+>>> db = twitter_database(nodes=500, edges=2000)
+>>> result = run_query(
+...     "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x).",
+...     db, strategy="HC_TJ", workers=8)
+>>> result.stats.tuples_shuffled > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..engine.cluster import Cluster
+from ..engine.memory import MemoryBudget
+from ..query.atoms import ConjunctiveQuery, Variable
+from ..query.parser import parse_query
+from ..storage.relation import Database
+from .executor import ExecutionResult, execute
+from .plans import ALL_STRATEGIES, Strategy
+from .semijoin import execute_semijoin
+
+QueryLike = Union[str, ConjunctiveQuery]
+
+
+def _as_query(query: QueryLike) -> ConjunctiveQuery:
+    if isinstance(query, ConjunctiveQuery):
+        return query
+    return parse_query(query)
+
+
+def make_cluster(
+    database: Database,
+    workers: int = 64,
+    memory_tuples: Optional[int] = None,
+) -> Cluster:
+    """Build and load a cluster over a database."""
+    cluster = Cluster(workers, MemoryBudget(per_worker_tuples=memory_tuples))
+    cluster.load(database)
+    return cluster
+
+
+def run_query(
+    query: QueryLike,
+    database: Database,
+    strategy: Union[str, Strategy] = "HC_TJ",
+    workers: int = 64,
+    memory_tuples: Optional[int] = None,
+    variable_order: Optional[Sequence[Variable]] = None,
+) -> ExecutionResult:
+    """Parse (if needed), plan, and execute a query on a fresh cluster.
+
+    ``strategy`` is one of RS_HJ, RS_TJ, BR_HJ, BR_TJ, HC_HJ, HC_TJ, or
+    ``"SJ_HJ"`` for the semijoin-reduction plan on acyclic queries.
+    """
+    parsed = _as_query(query)
+    cluster = make_cluster(database, workers=workers, memory_tuples=memory_tuples)
+    if isinstance(strategy, str) and strategy == "SJ_HJ":
+        return execute_semijoin(parsed, cluster)
+    if isinstance(strategy, str):
+        strategy = Strategy.parse(strategy)
+    return execute(parsed, cluster, strategy, variable_order=variable_order)
+
+
+def run_all_strategies(
+    query: QueryLike,
+    database: Database,
+    workers: int = 64,
+    memory_tuples: Optional[int] = None,
+) -> dict[str, ExecutionResult]:
+    """Run a query under all six configurations (the paper's Figs. 3-17)."""
+    parsed = _as_query(query)
+    results = {}
+    for strategy in ALL_STRATEGIES:
+        cluster = make_cluster(database, workers=workers, memory_tuples=memory_tuples)
+        results[strategy.name] = execute(parsed, cluster, strategy)
+    return results

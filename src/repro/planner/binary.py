@@ -1,0 +1,141 @@
+"""Left-deep binary join planning for the traditional strategies.
+
+The paper assumes "a state of the art optimizer" chooses a good left-deep
+join order (e.g. for Q6 it builds the triangle first).  We implement the
+textbook greedy: start from the smallest (post-selection) atom, then
+repeatedly extend with the connected atom whose estimated join output is
+smallest, using the System-R style estimate
+
+    |I join R| ~= |I| * |R| / prod over shared vars of max(V(I, v), V(R, v))
+
+with distinct counts propagated through intermediates under independence.
+Disconnected atoms (cross products) are deferred until no connected choice
+remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..query.atoms import Atom, ConjunctiveQuery, Variable
+from ..query.catalog import Catalog
+
+
+@dataclass
+class _SizeEstimate:
+    """Estimated cardinality and per-variable distinct counts."""
+
+    size: float
+    distinct: dict[Variable, float]
+
+
+def _atom_estimate(atom: Atom, catalog: Catalog) -> _SizeEstimate:
+    size = float(max(1, catalog.atom_cardinality(atom)))
+    distinct = {}
+    for variable in atom.variables():
+        position = atom.positions_of(variable)[0]
+        count = catalog.atom_prefix_count_positions(atom, (position,))
+        distinct[variable] = float(max(1, count))
+    return _SizeEstimate(size=size, distinct=distinct)
+
+
+def _join_estimate(left: _SizeEstimate, right: _SizeEstimate) -> _SizeEstimate:
+    shared = set(left.distinct) & set(right.distinct)
+    size = left.size * right.size
+    for variable in shared:
+        size /= max(left.distinct[variable], right.distinct[variable])
+    distinct: dict[Variable, float] = {}
+    for variable in set(left.distinct) | set(right.distinct):
+        candidates = []
+        if variable in left.distinct:
+            candidates.append(left.distinct[variable])
+        if variable in right.distinct:
+            candidates.append(right.distinct[variable])
+        distinct[variable] = min(min(candidates), max(1.0, size))
+    return _SizeEstimate(size=max(1.0, size), distinct=distinct)
+
+
+@dataclass(frozen=True)
+class LeftDeepPlan:
+    """An ordered sequence of atom aliases forming a left-deep join tree."""
+
+    query_name: str
+    order: tuple[str, ...]
+    estimated_sizes: tuple[float, ...]  # estimated intermediate size after each step
+
+    def __repr__(self) -> str:
+        return f"LeftDeepPlan({' >< '.join(self.order)})"
+
+
+def left_deep_plan(
+    query: ConjunctiveQuery,
+    catalog: Catalog,
+) -> LeftDeepPlan:
+    """Greedy minimum-intermediate left-deep join order."""
+    estimates = {atom.alias: _atom_estimate(atom, catalog) for atom in query.atoms}
+    remaining = {atom.alias: atom for atom in query.atoms}
+
+    start = min(remaining, key=lambda alias: estimates[alias].size)
+    order = [start]
+    current = estimates[start]
+    current_vars = set(remaining[start].variables())
+    del remaining[start]
+    sizes = [current.size]
+
+    while remaining:
+        connected = [
+            alias
+            for alias, atom in remaining.items()
+            if current_vars & set(atom.variables())
+        ]
+        candidates = connected or list(remaining)
+        best_alias = None
+        best_estimate = None
+        for alias in candidates:
+            estimate = _join_estimate(current, estimates[alias])
+            if best_estimate is None or estimate.size < best_estimate.size:
+                best_alias, best_estimate = alias, estimate
+        assert best_alias is not None and best_estimate is not None
+        order.append(best_alias)
+        current = best_estimate
+        current_vars |= set(remaining[best_alias].variables())
+        del remaining[best_alias]
+        sizes.append(current.size)
+
+    return LeftDeepPlan(
+        query_name=query.name, order=tuple(order), estimated_sizes=tuple(sizes)
+    )
+
+
+def plan_from_order(
+    query: ConjunctiveQuery,
+    catalog: Catalog,
+    order: Sequence[str],
+) -> LeftDeepPlan:
+    """Build a left-deep plan from an explicit alias order.
+
+    Used to replay the exact plans the paper reports (e.g. Q4's Fig. 7
+    plan) instead of the greedy planner's choice.
+    """
+    atoms = {atom.alias: atom for atom in query.atoms}
+    if sorted(order) != sorted(atoms):
+        raise ValueError(
+            f"plan order {order} must cover the atoms {sorted(atoms)} exactly"
+        )
+    current = _atom_estimate(atoms[order[0]], catalog)
+    sizes = [current.size]
+    for alias in order[1:]:
+        current = _join_estimate(current, _atom_estimate(atoms[alias], catalog))
+        sizes.append(current.size)
+    return LeftDeepPlan(
+        query_name=query.name, order=tuple(order), estimated_sizes=tuple(sizes)
+    )
+
+
+def shared_variables(
+    accumulated: Sequence[Variable], atom: Atom
+) -> tuple[Variable, ...]:
+    """Join variables between the accumulated intermediate and the next atom."""
+    atom_vars = set(atom.variables())
+    return tuple(v for v in accumulated if v in atom_vars)

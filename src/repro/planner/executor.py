@@ -1,0 +1,530 @@
+"""Distributed query execution for every shuffle x join strategy.
+
+This is the counterpart of the paper's Myria deployment: given a query, a
+loaded cluster, and one of the six strategies (Sec. 3), it runs the full
+distributed plan — scans with selection pushdown, the chosen shuffle(s),
+local joins per worker — collecting the exact metrics the paper reports
+(tuples shuffled, producer/consumer skew per shuffle, per-worker CPU work by
+phase, peak memory) and the result rows.
+
+Plan shapes:
+
+- ``RS_*``  — left-deep pipeline: shuffle both inputs of every binary join
+  on the join key (skipping re-shuffles when the intermediate is already
+  partitioned on it), join locally; HJ uses the symmetric hash join, TJ uses
+  a per-step binary merge join (a degenerate Tributary join).
+- ``BR_*``  — keep the largest relation partitioned in place, broadcast all
+  the others, then run the whole plan locally on every worker.
+- ``HC_*``  — a single HyperCube shuffle of every atom (configuration from
+  Sec. 4's Algorithm 1 unless one is supplied), then local evaluation: a
+  left-deep hash-join tree for HJ or the full multiway Tributary join for
+  TJ (variable order from the Sec. 5 cost model unless supplied).
+
+Simulated out-of-memory (:class:`~repro.engine.memory.OutOfMemoryError`)
+turns into a FAILed :class:`ExecutionResult` — the paper's Fig. 9 reports
+exactly this outcome for RS_TJ on Q4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..engine.cluster import Cluster
+from ..engine.frame import Frame, atom_frame
+from ..engine.hash_join import apply_comparisons, symmetric_hash_join
+from ..engine.local import local_tributary_join, scanned_query
+from ..engine.memory import OutOfMemoryError
+from ..engine.shuffle import broadcast, hypercube_shuffle, regular_shuffle
+from ..engine.stats import ExecutionStats
+from ..hypercube.config import HyperCubeConfig, optimize_config
+from ..hypercube.mapping import HyperCubeMapping
+from ..leapfrog.variable_order import best_join_order, full_variable_order
+from ..query.atoms import Atom, Comparison, ConjunctiveQuery, Variable
+from ..query.catalog import Catalog
+from .binary import LeftDeepPlan, left_deep_plan, shared_variables
+from .plans import JoinKind, ShuffleKind, Strategy
+
+
+@dataclass
+class ExecutionResult:
+    """Result rows plus everything observed while producing them."""
+
+    rows: list[tuple[int, ...]]
+    stats: ExecutionStats
+    hc_config: Optional[HyperCubeConfig] = None
+    variable_order: Optional[tuple[Variable, ...]] = None
+    plan: Optional[LeftDeepPlan] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.stats.failed
+
+
+def _canonical(variables: Sequence[Variable]) -> tuple[Variable, ...]:
+    """Canonical key ordering so co-partitioning checks are order-free."""
+    return tuple(sorted(variables, key=lambda v: v.name))
+
+
+def _scan_atoms(
+    query: ConjunctiveQuery, cluster: Cluster
+) -> tuple[dict[str, list[Frame]], list[Comparison]]:
+    """Scan every atom on every worker, pushing down constants and any
+    comparison fully covered by a single atom.  Returns per-alias per-worker
+    frames and the comparisons that remain for the join pipeline."""
+    encoder = cluster.encoder()
+    remaining: list[Comparison] = []
+    coverable: dict[str, list[Comparison]] = {atom.alias: [] for atom in query.atoms}
+    for comparison in query.comparisons:
+        cover = [
+            atom.alias
+            for atom in query.atoms
+            if set(comparison.variables()) <= set(atom.variables())
+        ]
+        if cover:
+            for alias in cover:
+                coverable[alias].append(comparison)
+        else:
+            remaining.append(comparison)
+
+    frames: dict[str, list[Frame]] = {}
+    for atom in query.atoms:
+        per_worker: list[Frame] = []
+        for worker in range(cluster.workers):
+            relation = cluster.fragment_relation(atom.relation, worker)
+            frame = atom_frame(atom, relation, encoder)
+            for comparison in coverable[atom.alias]:
+                index = {v: i for i, v in enumerate(frame.variables)}
+                frame = Frame(
+                    frame.variables,
+                    [
+                        row
+                        for row in frame.rows
+                        if comparison.evaluate(
+                            {v: row[i] for v, i in index.items()}
+                        )
+                    ],
+                )
+            per_worker.append(frame)
+        frames[atom.alias] = per_worker
+    return frames, remaining
+
+
+def _scanned_sizes(frames: Mapping[str, list[Frame]]) -> dict[str, int]:
+    """Exact post-selection cardinality per atom alias."""
+    return {
+        alias: max(1, sum(len(f) for f in per_worker))
+        for alias, per_worker in frames.items()
+    }
+
+
+def _finalize(
+    query: ConjunctiveQuery,
+    per_worker_rows: list[list[tuple[int, ...]]],
+    head_indices: Optional[Sequence[int]],
+    stats: ExecutionStats,
+) -> list[tuple[int, ...]]:
+    """Union worker outputs; project and de-duplicate non-full heads."""
+    rows: list[tuple[int, ...]] = []
+    for worker_rows in per_worker_rows:
+        rows.extend(worker_rows)
+    if head_indices is not None:
+        rows = [tuple(row[i] for i in head_indices) for row in rows]
+    if not query.is_full():
+        rows = list(dict.fromkeys(rows))
+    stats.result_count = len(rows)
+    return rows
+
+
+def execute(
+    query: ConjunctiveQuery,
+    cluster: Cluster,
+    strategy: Strategy,
+    catalog: Optional[Catalog] = None,
+    hc_config: Optional[HyperCubeConfig] = None,
+    variable_order: Optional[Sequence[Variable]] = None,
+    plan: Optional[LeftDeepPlan] = None,
+    hc_seed: int = 0,
+) -> ExecutionResult:
+    """Run ``query`` on ``cluster`` with the given strategy."""
+    if cluster.database is None:
+        raise RuntimeError("cluster has no loaded database; call cluster.load()")
+    stats = ExecutionStats(
+        query=query.name, strategy=strategy.name, workers=cluster.workers
+    )
+    catalog = catalog or Catalog(cluster.database)
+    cluster.memory.reset()
+    started = time.perf_counter()
+    result = ExecutionResult(rows=[], stats=stats)
+    try:
+        if strategy.shuffle is ShuffleKind.REGULAR:
+            result = _execute_regular(query, cluster, strategy, catalog, plan, stats)
+        elif strategy.shuffle is ShuffleKind.BROADCAST:
+            result = _execute_broadcast(
+                query, cluster, strategy, catalog, plan, variable_order, stats
+            )
+        else:
+            result = _execute_hypercube(
+                query,
+                cluster,
+                strategy,
+                catalog,
+                plan,
+                hc_config,
+                variable_order,
+                hc_seed,
+                stats,
+            )
+    except OutOfMemoryError as oom:
+        stats.mark_failed(str(oom))
+        result = ExecutionResult(rows=[], stats=stats)
+    stats.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+# ----------------------------------------------------------------------
+# Regular shuffle (RS_HJ / RS_TJ)
+# ----------------------------------------------------------------------
+
+
+def _binary_local_join(
+    strategy: Strategy,
+    left: Frame,
+    right: Frame,
+    join_vars: Sequence[Variable],
+    worker: int,
+    stats: ExecutionStats,
+    step: int,
+    cluster: Cluster,
+) -> Frame:
+    phase = f"step{step}:join"
+    if strategy.join is JoinKind.HASH:
+        return symmetric_hash_join(
+            left, right, join_vars, worker, stats, phase, cluster.memory
+        )
+    # Binary Tributary join == sort-merge join: build a 2-atom query over the
+    # two frames and run the multiway machinery on it.
+    left_atom = Atom("L", left.variables, alias="L")
+    right_atom = Atom("R", right.variables, alias="R")
+    out_vars = tuple(left.variables) + tuple(
+        v for v in right.variables if v not in set(left.variables)
+    )
+    two_way = ConjunctiveQuery(
+        name="merge", head=out_vars, atoms=(left_atom, right_atom)
+    )
+    order = tuple(join_vars) + tuple(v for v in out_vars if v not in set(join_vars))
+    rows = local_tributary_join(
+        two_way,
+        {"L": left, "R": right},
+        worker,
+        stats,
+        order=order,
+        sort_phase=f"step{step}:sort",
+        join_phase=phase,
+        memory=cluster.memory,
+    )
+    return Frame(out_vars, rows)
+
+
+def _execute_regular(
+    query: ConjunctiveQuery,
+    cluster: Cluster,
+    strategy: Strategy,
+    catalog: Catalog,
+    plan: Optional[LeftDeepPlan],
+    stats: ExecutionStats,
+) -> ExecutionResult:
+    plan = plan or left_deep_plan(query, catalog)
+    frames, pending = _scan_atoms(query, cluster)
+    rows = run_regular_pipeline(
+        query, cluster, strategy, plan, stats, frames, pending
+    )
+    return ExecutionResult(rows=rows, stats=stats, plan=plan)
+
+
+def run_regular_pipeline(
+    query: ConjunctiveQuery,
+    cluster: Cluster,
+    strategy: Strategy,
+    plan: LeftDeepPlan,
+    stats: ExecutionStats,
+    frames: Mapping[str, list[Frame]],
+    pending: Sequence[Comparison],
+) -> list[tuple[int, ...]]:
+    """The left-deep shuffle-then-join pipeline over given scanned frames.
+
+    Exposed separately so the semijoin planner (Sec. 3.6) can run the final
+    join phase over its reduced relations.
+    """
+    atoms = {atom.alias: atom for atom in query.atoms}
+    workers = cluster.workers
+    pending = list(pending)
+
+    first = atoms[plan.order[0]]
+    current = frames[first.alias]
+    current_vars: tuple[Variable, ...] = first.variables()
+    partition_key: Optional[frozenset[Variable]] = None
+
+    for step, alias in enumerate(plan.order[1:], start=1):
+        atom = atoms[alias]
+        join_vars = shared_variables(current_vars, atom)
+        shuffle_phase = f"step{step}:shuffle"
+        if join_vars:
+            key = _canonical(join_vars)
+            if partition_key != frozenset(key):
+                current = regular_shuffle(
+                    current,
+                    key,
+                    workers,
+                    stats,
+                    name=f"RS {query.name} step{step} left -> h{tuple(v.name for v in key)}",
+                    phase=shuffle_phase,
+                    memory=cluster.memory,
+                )
+            right = regular_shuffle(
+                frames[alias],
+                key,
+                workers,
+                stats,
+                name=f"RS {alias} -> h{tuple(v.name for v in key)}",
+                phase=shuffle_phase,
+                memory=cluster.memory,
+            )
+            partition_key = frozenset(key)
+        else:
+            # Cartesian step: replicate the (smaller) atom everywhere.
+            right = broadcast(
+                frames[alias],
+                workers,
+                stats,
+                name=f"BR {alias} (cartesian)",
+                phase=shuffle_phase,
+                memory=cluster.memory,
+            )
+        joined: list[Frame] = []
+        deferred = list(pending)
+        for worker in range(workers):
+            out = _binary_local_join(
+                strategy,
+                current[worker],
+                right[worker],
+                join_vars,
+                worker,
+                stats,
+                step,
+                cluster,
+            )
+            # every worker filters against the full pending list; the
+            # deferred remainder is the same for all of them
+            out, deferred = apply_comparisons(
+                out, pending, worker, stats, f"step{step}:filter"
+            )
+            joined.append(out)
+        pending = deferred
+        current = joined
+        current_vars = joined[0].variables if joined else current_vars
+
+    head_indices = [current_vars.index(v) for v in query.head]
+    return _finalize(
+        query, [frame.rows for frame in current], head_indices, stats
+    )
+
+
+# ----------------------------------------------------------------------
+# Broadcast (BR_HJ / BR_TJ)
+# ----------------------------------------------------------------------
+
+
+def _local_hash_pipeline(
+    query: ConjunctiveQuery,
+    plan: LeftDeepPlan,
+    frames_of_worker: Mapping[str, Frame],
+    pending: Sequence[Comparison],
+    worker: int,
+    stats: ExecutionStats,
+    cluster: Cluster,
+) -> Frame:
+    atoms = {atom.alias: atom for atom in query.atoms}
+    current = frames_of_worker[plan.order[0]]
+    current_vars = list(current.variables)
+    remaining = list(pending)
+    for step, alias in enumerate(plan.order[1:], start=1):
+        join_vars = shared_variables(current_vars, atoms[alias])
+        current = symmetric_hash_join(
+            current,
+            frames_of_worker[alias],
+            join_vars,
+            worker,
+            stats,
+            f"step{step}:join",
+            cluster.memory,
+        )
+        current, remaining = apply_comparisons(
+            current, remaining, worker, stats, f"step{step}:filter"
+        )
+        current_vars = list(current.variables)
+    return current
+
+
+def _execute_broadcast(
+    query: ConjunctiveQuery,
+    cluster: Cluster,
+    strategy: Strategy,
+    catalog: Catalog,
+    plan: Optional[LeftDeepPlan],
+    variable_order: Optional[Sequence[Variable]],
+    stats: ExecutionStats,
+) -> ExecutionResult:
+    plan = plan or left_deep_plan(query, catalog)
+    workers = cluster.workers
+    frames, pending = _scan_atoms(query, cluster)
+    sizes = _scanned_sizes(frames)
+    anchor = max(sizes, key=lambda alias: sizes[alias])
+
+    shuffled: dict[str, list[Frame]] = {}
+    for atom in query.atoms:
+        if atom.alias == anchor:
+            shuffled[atom.alias] = frames[atom.alias]
+            # anchor fragments become resident inputs of the local join
+            for worker, frame in enumerate(frames[atom.alias]):
+                cluster.memory.allocate(worker, len(frame), "broadcast")
+        else:
+            shuffled[atom.alias] = broadcast(
+                frames[atom.alias],
+                workers,
+                stats,
+                name=f"Broadcast {atom.alias}",
+                phase="broadcast",
+                memory=cluster.memory,
+            )
+
+    per_worker_rows: list[list[tuple[int, ...]]] = []
+    head_indices: Optional[list[int]] = None
+    if strategy.join is JoinKind.TRIBUTARY:
+        local_query = scanned_query(query)
+        order = _resolve_order(query, catalog, variable_order)
+        for worker in range(workers):
+            frames_of_worker = {
+                alias: shuffled[alias][worker] for alias in shuffled
+            }
+            rows = local_tributary_join(
+                local_query,
+                frames_of_worker,
+                worker,
+                stats,
+                order=order,
+                memory=cluster.memory,
+            )
+            per_worker_rows.append(rows)
+    else:
+        for worker in range(workers):
+            frames_of_worker = {alias: shuffled[alias][worker] for alias in shuffled}
+            out = _local_hash_pipeline(
+                query, plan, frames_of_worker, pending, worker, stats, cluster
+            )
+            if head_indices is None:
+                head_indices = [out.variables.index(v) for v in query.head]
+            per_worker_rows.append(out.rows)
+
+    rows = _finalize(query, per_worker_rows, head_indices, stats)
+    return ExecutionResult(
+        rows=rows,
+        stats=stats,
+        plan=plan,
+        variable_order=(
+            _resolve_order(query, catalog, variable_order)
+            if strategy.join is JoinKind.TRIBUTARY
+            else None
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# HyperCube (HC_HJ / HC_TJ)
+# ----------------------------------------------------------------------
+
+
+def _resolve_order(
+    query: ConjunctiveQuery,
+    catalog: Catalog,
+    variable_order: Optional[Sequence[Variable]],
+) -> tuple[Variable, ...]:
+    if variable_order is not None:
+        return tuple(variable_order)
+    best = best_join_order(query, catalog)
+    return full_variable_order(query, best.order)
+
+
+def _execute_hypercube(
+    query: ConjunctiveQuery,
+    cluster: Cluster,
+    strategy: Strategy,
+    catalog: Catalog,
+    plan: Optional[LeftDeepPlan],
+    hc_config: Optional[HyperCubeConfig],
+    variable_order: Optional[Sequence[Variable]],
+    hc_seed: int,
+    stats: ExecutionStats,
+) -> ExecutionResult:
+    workers = cluster.workers
+    frames, pending = _scan_atoms(query, cluster)
+    sizes = _scanned_sizes(frames)
+    config = hc_config or optimize_config(query, sizes, workers)
+    mapping = HyperCubeMapping(config, seed=hc_seed)
+
+    shuffled: dict[str, list[Frame]] = {}
+    for atom in query.atoms:
+        shuffled[atom.alias] = hypercube_shuffle(
+            frames[atom.alias],
+            atom,
+            mapping,
+            workers,
+            stats,
+            name=f"HCS {atom.alias}",
+            phase="hypercube shuffle",
+            memory=cluster.memory,
+        )
+
+    per_worker_rows: list[list[tuple[int, ...]]] = []
+    head_indices: Optional[list[int]] = None
+    order: Optional[tuple[Variable, ...]] = None
+    if strategy.join is JoinKind.TRIBUTARY:
+        local_query = scanned_query(query)
+        order = _resolve_order(query, catalog, variable_order)
+        for worker in range(mapping.workers_used):
+            frames_of_worker = {alias: shuffled[alias][worker] for alias in shuffled}
+            rows = local_tributary_join(
+                local_query,
+                frames_of_worker,
+                worker,
+                stats,
+                order=order,
+                memory=cluster.memory,
+            )
+            per_worker_rows.append(rows)
+    else:
+        plan = plan or left_deep_plan(query, catalog)
+        for worker in range(mapping.workers_used):
+            frames_of_worker = {alias: shuffled[alias][worker] for alias in shuffled}
+            out = _local_hash_pipeline(
+                query, plan, frames_of_worker, pending, worker, stats, cluster
+            )
+            if head_indices is None:
+                head_indices = [out.variables.index(v) for v in query.head]
+            per_worker_rows.append(out.rows)
+
+    rows = _finalize(query, per_worker_rows, head_indices, stats)
+    # HC evaluates all atoms at once but full-query bindings can repeat when
+    # two workers received overlapping replicas ONLY via projection; full
+    # results are produced exactly once (each binding fixes every coordinate)
+    if query.is_full():
+        rows = list(dict.fromkeys(rows))
+        stats.result_count = len(rows)
+    return ExecutionResult(
+        rows=rows,
+        stats=stats,
+        hc_config=config,
+        variable_order=order,
+        plan=plan,
+    )

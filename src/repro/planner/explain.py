@@ -1,0 +1,103 @@
+"""Query explanation: what each strategy would do, before running it.
+
+``explain`` assembles the optimizer artifacts the paper's system computes —
+the left-deep plan with estimated intermediate sizes, the fractional and
+integral HyperCube configurations with expected load and replication, and
+the Tributary variable order with its estimated cost — into one readable
+report.  Nothing is executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hypercube.config import HyperCubeConfig, config_workload, optimize_config
+from ..hypercube.shares import (
+    FractionalShares,
+    fractional_shares,
+    optimal_fractional_workload,
+    replication_factor,
+)
+from ..leapfrog.variable_order import OrderCost, best_join_order, full_variable_order
+from ..query.atoms import ConjunctiveQuery, Variable
+from ..query.catalog import Catalog, cardinalities_for
+from ..query.hypergraph import Hypergraph
+from ..storage.relation import Database
+from .binary import LeftDeepPlan, left_deep_plan
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Everything the optimizer decided for one query and cluster size."""
+
+    query: ConjunctiveQuery
+    workers: int
+    cyclic: bool
+    agm_bound: float
+    plan: LeftDeepPlan
+    fractional: FractionalShares
+    hc_config: HyperCubeConfig
+    hc_workload: float
+    hc_optimal_workload: float
+    hc_replication: float
+    variable_order: tuple[Variable, ...]
+    order_cost: OrderCost
+
+    def render(self) -> str:
+        lines = [f"query: {self.query}"]
+        lines.append(
+            f"structure: {'cyclic' if self.cyclic else 'acyclic'}, "
+            f"{len(self.query.atoms)} atoms, "
+            f"{len(self.query.join_variables())} join variables, "
+            f"AGM bound ~{self.agm_bound:,.0f}"
+        )
+        steps = " >< ".join(self.plan.order)
+        lines.append(f"left-deep plan: {steps}")
+        sizes = ", ".join(f"{s:,.0f}" for s in self.plan.estimated_sizes)
+        lines.append(f"  estimated intermediates: {sizes}")
+        shares = ", ".join(
+            f"{v.name}={s:.2f}" for v, s in self.fractional.shares.items()
+        )
+        lines.append(f"fractional shares (p={self.workers}): {shares}")
+        lines.append(
+            f"hypercube config: {self.hc_config} "
+            f"(uses {self.hc_config.workers_used} workers, "
+            f"replication ~{self.hc_replication:.1f}x, "
+            f"load/optimal {self.hc_workload / max(self.hc_optimal_workload, 1e-9):.2f})"
+        )
+        order = " < ".join(v.name for v in self.variable_order)
+        lines.append(
+            f"tributary variable order: {order} "
+            f"(estimated cost {self.order_cost.cost:,.0f})"
+        )
+        return "\n".join(lines)
+
+
+def explain(
+    query: ConjunctiveQuery,
+    database: Database,
+    workers: int = 64,
+) -> Explanation:
+    """Build the full optimizer explanation for a query (no execution)."""
+    catalog = Catalog(database)
+    cards = dict(cardinalities_for(query, database))
+    hypergraph = Hypergraph(query)
+    plan = left_deep_plan(query, catalog)
+    fractional = fractional_shares(query, cards, workers)
+    config = optimize_config(query, cards, workers)
+    best = best_join_order(query, catalog)
+    shares = {v: float(d) for v, d in config.dims.items()}
+    return Explanation(
+        query=query,
+        workers=workers,
+        cyclic=hypergraph.is_cyclic(),
+        agm_bound=hypergraph.agm_bound(cards),
+        plan=plan,
+        fractional=fractional,
+        hc_config=config,
+        hc_workload=config_workload(query, cards, config),
+        hc_optimal_workload=optimal_fractional_workload(query, cards, workers),
+        hc_replication=replication_factor(query, cards, shares),
+        variable_order=full_variable_order(query, best.order),
+        order_cost=best,
+    )

@@ -1,0 +1,66 @@
+"""The six shuffle x join strategies of the paper's evaluation (Sec. 3).
+
+Shuffles: Regular (RS), Broadcast (BR), HyperCube (HC).
+Joins: symmetric Hash Join (HJ), Tributary Join (TJ).
+
+``RS_TJ`` degenerates to a pipeline of binary merge joins ("this is not what
+Tributary join is designed for, but we include the result for
+completeness"); the paper's headline configuration is ``HC_TJ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ShuffleKind(Enum):
+    """The three data-reshuffling algorithms of Sec. 3."""
+
+    REGULAR = "RS"
+    BROADCAST = "BR"
+    HYPERCUBE = "HC"
+
+
+class JoinKind(Enum):
+    """The two local join operators of Sec. 3."""
+
+    HASH = "HJ"
+    TRIBUTARY = "TJ"
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One point of the paper's 3x2 configuration grid."""
+
+    shuffle: ShuffleKind
+    join: JoinKind
+
+    @property
+    def name(self) -> str:
+        return f"{self.shuffle.value}_{self.join.value}"
+
+    def __repr__(self) -> str:
+        return self.name
+
+    @classmethod
+    def parse(cls, name: str) -> "Strategy":
+        try:
+            shuffle_name, join_name = name.split("_")
+            shuffle = next(s for s in ShuffleKind if s.value == shuffle_name)
+            join = next(j for j in JoinKind if j.value == join_name)
+        except (ValueError, StopIteration):
+            valid = ", ".join(s.name for s in ALL_STRATEGIES)
+            raise ValueError(f"unknown strategy {name!r}; valid: {valid}") from None
+        return cls(shuffle, join)
+
+
+RS_HJ = Strategy(ShuffleKind.REGULAR, JoinKind.HASH)
+RS_TJ = Strategy(ShuffleKind.REGULAR, JoinKind.TRIBUTARY)
+BR_HJ = Strategy(ShuffleKind.BROADCAST, JoinKind.HASH)
+BR_TJ = Strategy(ShuffleKind.BROADCAST, JoinKind.TRIBUTARY)
+HC_HJ = Strategy(ShuffleKind.HYPERCUBE, JoinKind.HASH)
+HC_TJ = Strategy(ShuffleKind.HYPERCUBE, JoinKind.TRIBUTARY)
+
+#: paper presentation order (Figs. 3, 4, 6, 9, 13, 14, 15, 17)
+ALL_STRATEGIES: tuple[Strategy, ...] = (RS_HJ, RS_TJ, BR_HJ, BR_TJ, HC_HJ, HC_TJ)

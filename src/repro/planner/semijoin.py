@@ -1,0 +1,163 @@
+"""Distributed semijoin reduction (paper Sec. 3.6 and Appendix).
+
+Implements the distributed Yannakakis reduction as described in the GYM
+paper [Afrati et al.] and evaluated by the paper on its acyclic queries
+(Q3, Q7): build a join tree (a GHD of the acyclic query, Fig. 16), run a
+bottom-up then a top-down pass of semijoins to delete every dangling tuple,
+and finally join the reduced relations with a regular-shuffle hash plan.
+
+Each distributed semijoin ``R ⋉ S`` on shared attributes ``A``:
+
+1. *Local preprocessing* — project ``S`` on ``A`` and de-duplicate;
+2. *Shuffle* — hash-partition both ``R`` and the projection on ``A``
+   (the paper stresses that, unlike classical two-site semijoins, *both*
+   sides must be re-shuffled because every relation is distributed — this
+   extra communication is why semijoins did not pay off in their workload);
+3. *Local join* — filter ``R`` by set membership.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.cluster import Cluster
+from ..engine.frame import Frame
+from ..engine.stats import ExecutionStats
+from ..query.atoms import ConjunctiveQuery, Variable
+from ..query.catalog import Catalog
+from ..query.hypergraph import join_tree
+from .binary import left_deep_plan
+from .executor import (
+    ExecutionResult,
+    _canonical,
+    _scan_atoms,
+    run_regular_pipeline,
+)
+from .plans import RS_HJ
+from ..engine.shuffle import regular_shuffle
+
+
+def _distributed_semijoin(
+    target: list[Frame],
+    source: list[Frame],
+    shared: tuple[Variable, ...],
+    cluster: Cluster,
+    stats: ExecutionStats,
+    label: str,
+    phase: str,
+) -> list[Frame]:
+    """Replace ``target`` with ``target ⋉ source`` on the shared variables."""
+    workers = cluster.workers
+    key = _canonical(shared)
+
+    # local preprocessing: project + dedup the source
+    projected: list[Frame] = []
+    for worker, frame in enumerate(source):
+        stats.charge(worker, len(frame), f"{phase}:project")
+        projected.append(frame.project(key, dedup=True))
+
+    shuffled_target = regular_shuffle(
+        target,
+        key,
+        workers,
+        stats,
+        name=f"SJ {label} target -> h{tuple(v.name for v in key)}",
+        phase=f"{phase}:shuffle",
+        memory=cluster.memory,
+    )
+    shuffled_source = regular_shuffle(
+        projected,
+        key,
+        workers,
+        stats,
+        name=f"SJ {label} keys -> h{tuple(v.name for v in key)}",
+        phase=f"{phase}:shuffle",
+        memory=cluster.memory,
+    )
+
+    reduced: list[Frame] = []
+    for worker in range(workers):
+        keys = set(shuffled_source[worker].rows)
+        indices = shuffled_target[worker].indices_of(key)
+        kept = [
+            row
+            for row in shuffled_target[worker].rows
+            if tuple(row[i] for i in indices) in keys
+        ]
+        stats.charge(
+            worker,
+            len(shuffled_target[worker].rows) + len(keys),
+            f"{phase}:semijoin",
+        )
+        reduced.append(Frame(shuffled_target[worker].variables, kept))
+    return reduced
+
+
+def execute_semijoin(
+    query: ConjunctiveQuery,
+    cluster: Cluster,
+    catalog: Optional[Catalog] = None,
+) -> ExecutionResult:
+    """Full semijoin plan: reduce all relations, then a regular RS_HJ join.
+
+    Raises ``ValueError`` for cyclic queries — "only acyclic queries admit
+    full semijoin reductions".
+    """
+    if cluster.database is None:
+        raise RuntimeError("cluster has no loaded database; call cluster.load()")
+    tree = join_tree(query)  # raises for cyclic queries
+    catalog = catalog or Catalog(cluster.database)
+    stats = ExecutionStats(
+        query=query.name, strategy="SJ_HJ", workers=cluster.workers
+    )
+    cluster.memory.reset()
+
+    frames, pending = _scan_atoms(query, cluster)
+    atoms = {atom.alias: atom for atom in query.atoms}
+
+    def shared_of(a: str, b: str) -> tuple[Variable, ...]:
+        return tuple(
+            v for v in atoms[a].variables() if v in set(atoms[b].variables())
+        )
+
+    # Bottom-up: each removed ear reduces its parent.
+    for position, child in enumerate(tree.removal_order):
+        parent = tree.parents[child]
+        if parent is None:
+            continue
+        shared = shared_of(parent, child)
+        if not shared:
+            continue
+        frames[parent] = _distributed_semijoin(
+            frames[parent],
+            frames[child],
+            shared,
+            cluster,
+            stats,
+            label=f"{parent}<-{child}",
+            phase=f"semijoin-up{position}",
+        )
+
+    # Top-down: parents reduce their children, in reverse removal order.
+    for position, child in enumerate(reversed(tree.removal_order)):
+        parent = tree.parents[child]
+        if parent is None:
+            continue
+        shared = shared_of(child, parent)
+        if not shared:
+            continue
+        frames[child] = _distributed_semijoin(
+            frames[child],
+            frames[parent],
+            shared,
+            cluster,
+            stats,
+            label=f"{child}<-{parent}",
+            phase=f"semijoin-down{position}",
+        )
+
+    plan = left_deep_plan(query, catalog)
+    rows = run_regular_pipeline(
+        query, cluster, RS_HJ, plan, stats, frames, pending
+    )
+    return ExecutionResult(rows=rows, stats=stats, plan=plan)

@@ -1,0 +1,33 @@
+"""Conjunctive-query IR, hypergraph theory, and statistics."""
+
+from .atoms import (
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    Term,
+    Variable,
+    make_variables,
+)
+from .catalog import Catalog, cardinalities_for
+from .hypergraph import GYOResult, Hyperedge, Hypergraph, join_tree, uniform_cardinalities
+from .parser import ParseError, parse_query
+
+__all__ = [
+    "Atom",
+    "Catalog",
+    "Comparison",
+    "ConjunctiveQuery",
+    "Constant",
+    "GYOResult",
+    "Hyperedge",
+    "Hypergraph",
+    "ParseError",
+    "Term",
+    "Variable",
+    "cardinalities_for",
+    "join_tree",
+    "make_variables",
+    "parse_query",
+    "uniform_cardinalities",
+]

@@ -1,0 +1,117 @@
+"""Statistics catalog.
+
+Section 5.1 of the paper assumes "commonly used statistics": the cardinality
+of every relation, the number of distinct values of each variable in each
+relation, and the number of distinct *prefix* values ``V(R, p)`` under a
+candidate global variable order.  :class:`Catalog` computes and caches these
+over a :class:`~repro.storage.relation.Database`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..storage.relation import Database, Relation
+from .atoms import Atom, ConjunctiveQuery, Variable
+
+
+class Catalog:
+    """Cardinality and distinct-prefix statistics over a database."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._prefix_cache: dict[tuple[str, tuple[int, ...]], int] = {}
+        self._atom_prefix_cache: dict[tuple, int] = {}
+
+    def cardinality(self, relation_name: str) -> int:
+        return len(self.database[relation_name])
+
+    def atom_cardinalities(self, query: ConjunctiveQuery) -> dict[str, int]:
+        """Cardinality per atom alias (self-join copies share their base size)."""
+        return {atom.alias: self.cardinality(atom.relation) for atom in query.atoms}
+
+    def distinct_prefix(self, relation_name: str, positions: Sequence[int]) -> int:
+        """``V(R, p)``: distinct combinations of the given attribute positions.
+
+        ``positions=()`` is the empty prefix: 1 for a non-empty relation.
+        """
+        key = (relation_name, tuple(positions))
+        if key in self._prefix_cache:
+            return self._prefix_cache[key]
+        relation = self.database[relation_name]
+        if not positions:
+            count = 1 if len(relation) else 0
+        else:
+            seen = {tuple(row[p] for p in positions) for row in relation.rows}
+            count = len(seen)
+        self._prefix_cache[key] = count
+        return count
+
+    def distinct_values(self, relation_name: str, position: int) -> int:
+        """``V(R, x)``: distinct values of one attribute."""
+        return self.distinct_prefix(relation_name, (position,))
+
+    def atom_prefix_count(
+        self, atom: Atom, order: Sequence[Variable], length: int
+    ) -> int:
+        """``V(R_j, p_{i,j})`` for the atom's key prefix of the given length.
+
+        The prefix is the first ``length`` variables of ``order`` *that occur
+        in this atom*, mapped to their attribute positions.  Variables bound
+        to several positions in the atom contribute their first position (the
+        remaining positions act as filters, which the cost model ignores —
+        the standard independence simplification).
+        """
+        atom_vars = [v for v in order if v in atom.variables()][:length]
+        positions = [atom.positions_of(v)[0] for v in atom_vars]
+        # Constant positions in the atom pre-filter the relation; the
+        # statistics are computed on the filtered relation.
+        relation = self._filtered(atom)
+        if not positions:
+            return 1 if len(relation) else 0
+        seen = {tuple(row[p] for p in positions) for row in relation.rows}
+        return len(seen)
+
+    def atom_prefix_count_positions(
+        self, atom: Atom, positions: Sequence[int]
+    ) -> int:
+        """``V(R_j, p)`` for explicit attribute positions of an atom.
+
+        Statistics are computed on the relation after the atom's constant
+        selections (selection pushdown), and cached per
+        (relation, constants, positions).
+        """
+        key = (atom.relation, atom.constants(), tuple(positions))
+        if key in self._atom_prefix_cache:
+            return self._atom_prefix_cache[key]
+        relation = self._filtered(atom)
+        if not positions:
+            count = 1 if len(relation) else 0
+        else:
+            seen = {tuple(row[p] for p in positions) for row in relation.rows}
+            count = len(seen)
+        self._atom_prefix_cache[key] = count
+        return count
+
+    def atom_cardinality(self, atom: Atom) -> int:
+        """Cardinality of the atom's relation after applying its constants."""
+        return len(self._filtered(atom))
+
+    def _filtered(self, atom: Atom) -> Relation:
+        relation = self.database[atom.relation]
+        for position, constant in atom.constants():
+            relation = relation.select(position, self.database.encode(constant.value))
+        return relation
+
+
+def cardinalities_for(
+    query: ConjunctiveQuery, database: Database
+) -> Mapping[str, int]:
+    """Per-alias cardinalities after constant selections are pushed down.
+
+    The paper pushes selections like ``ObjectName(a1, "Joe Pesci")`` below
+    the shuffle (its footnote 3), so the shares LP and the planner both see
+    the post-selection sizes.
+    """
+    catalog = Catalog(database)
+    return {atom.alias: max(1, catalog.atom_cardinality(atom)) for atom in query.atoms}

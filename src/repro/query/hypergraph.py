@@ -1,0 +1,285 @@
+"""Query hypergraphs: acyclicity, join trees, and fractional LP bounds.
+
+A conjunctive query maps to a hypergraph whose vertices are the query
+variables and whose hyperedges are the atoms.  This module provides the
+pieces of theory the paper builds on:
+
+- **GYO reduction** — decides (alpha-)acyclicity and, for acyclic queries,
+  produces the join tree used by the Yannakakis semijoin reduction
+  (paper Sec. 3.6 and Fig. 16).
+- **Fractional edge cover LP** — yields the AGM bound on the output size,
+  the quantity worst-case-optimal joins are measured against.
+- **Fractional share exponents LP** (Beame, Koutris, Suciu) — yields the
+  theoretically optimal (fractional) HyperCube shares which Sec. 4 of the
+  paper rounds into practical integral configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .atoms import ConjunctiveQuery, Variable
+
+
+@dataclass(frozen=True)
+class Hyperedge:
+    """A hyperedge: the variable set of one atom, tagged with its alias."""
+
+    alias: str
+    variables: frozenset[Variable]
+
+
+class Hypergraph:
+    """The hypergraph of a conjunctive query."""
+
+    def __init__(self, query: ConjunctiveQuery) -> None:
+        self.query = query
+        self.edges: tuple[Hyperedge, ...] = tuple(
+            Hyperedge(atom.alias, frozenset(atom.variables())) for atom in query.atoms
+        )
+        self.vertices: tuple[Variable, ...] = query.variables()
+
+    def edges_with(self, variable: Variable) -> tuple[Hyperedge, ...]:
+        return tuple(edge for edge in self.edges if variable in edge.variables)
+
+    # ------------------------------------------------------------------
+    # GYO reduction / acyclicity
+    # ------------------------------------------------------------------
+
+    def gyo_reduction(self) -> "GYOResult":
+        """Run the GYO ear-removal algorithm.
+
+        Repeatedly (a) drop vertices that occur in a single remaining edge and
+        (b) remove edges contained in another remaining edge, recording the
+        containing edge as the removed edge's join-tree parent.  The query is
+        alpha-acyclic iff at most one edge remains.
+        """
+        remaining: dict[str, set[Variable]] = {
+            edge.alias: set(edge.variables) for edge in self.edges
+        }
+        parents: dict[str, Optional[str]] = {}
+        removal_order: list[str] = []
+
+        changed = True
+        while changed and len(remaining) > 1:
+            changed = False
+            # (a) remove vertices unique to one edge
+            counts: dict[Variable, int] = {}
+            for variables in remaining.values():
+                for variable in variables:
+                    counts[variable] = counts.get(variable, 0) + 1
+            for variables in remaining.values():
+                lonely = {v for v in variables if counts[v] == 1}
+                if lonely:
+                    variables -= lonely
+                    changed = True
+            # (b) remove an edge contained in another edge
+            aliases = list(remaining)
+            for alias in aliases:
+                if alias not in remaining:
+                    continue
+                variables = remaining[alias]
+                for other_alias, other_variables in remaining.items():
+                    if other_alias == alias:
+                        continue
+                    if variables <= other_variables:
+                        parents[alias] = other_alias
+                        removal_order.append(alias)
+                        del remaining[alias]
+                        changed = True
+                        break
+
+        acyclic = len(remaining) <= 1
+        root = next(iter(remaining)) if remaining else None
+        if acyclic and root is not None:
+            parents[root] = None
+        return GYOResult(
+            acyclic=acyclic,
+            parents=parents if acyclic else {},
+            root=root if acyclic else None,
+            removal_order=tuple(removal_order),
+        )
+
+    def is_acyclic(self) -> bool:
+        return self.gyo_reduction().acyclic
+
+    def is_cyclic(self) -> bool:
+        return not self.is_acyclic()
+
+    # ------------------------------------------------------------------
+    # Fractional edge cover / AGM bound
+    # ------------------------------------------------------------------
+
+    def fractional_edge_cover(
+        self, cardinalities: Mapping[str, int]
+    ) -> dict[str, float]:
+        """Minimum-weight fractional edge cover.
+
+        Minimizes ``sum_j u_j * log|R_j|`` subject to covering every variable
+        (``sum_{j : x in vars(j)} u_j >= 1``).  The optimum exponentiates to
+        the AGM bound.
+        """
+        edge_count = len(self.edges)
+        costs = np.array(
+            [math.log(max(2, cardinalities[edge.alias])) for edge in self.edges]
+        )
+        # -A u <= -1 encodes the >= 1 covering constraints.
+        rows = []
+        for vertex in self.vertices:
+            rows.append(
+                [-1.0 if vertex in edge.variables else 0.0 for edge in self.edges]
+            )
+        result = linprog(
+            c=costs,
+            A_ub=np.array(rows),
+            b_ub=-np.ones(len(self.vertices)),
+            bounds=[(0, None)] * edge_count,
+            method="highs",
+        )
+        if not result.success:
+            raise RuntimeError(f"edge cover LP failed: {result.message}")
+        return {edge.alias: float(weight) for edge, weight in zip(self.edges, result.x)}
+
+    def fractional_edge_packing(self) -> dict[str, float]:
+        """Maximum fractional edge packing of the query hypergraph.
+
+        Maximizes ``sum_j u_j`` subject to ``sum_{j : x in vars(j)} u_j <= 1``
+        per variable.  Beame et al. prove the optimal HyperCube shares are
+        tied to this packing (it is the LP dual of the vertex-cover side of
+        the share program); for the triangle query its value is 3/2.
+        """
+        edge_count = len(self.edges)
+        rows = []
+        for vertex in self.vertices:
+            rows.append(
+                [1.0 if vertex in edge.variables else 0.0 for edge in self.edges]
+            )
+        result = linprog(
+            c=-np.ones(edge_count),  # maximize sum u_j
+            A_ub=np.array(rows),
+            b_ub=np.ones(len(self.vertices)),
+            bounds=[(0, None)] * edge_count,
+            method="highs",
+        )
+        if not result.success:
+            raise RuntimeError(f"edge packing LP failed: {result.message}")
+        return {edge.alias: float(weight) for edge, weight in zip(self.edges, result.x)}
+
+    def agm_bound(self, cardinalities: Mapping[str, int]) -> float:
+        """The AGM worst-case output-size bound ``prod_j |R_j|^{u_j}``."""
+        cover = self.fractional_edge_cover(cardinalities)
+        log_bound = sum(
+            weight * math.log(max(2, cardinalities[alias]))
+            for alias, weight in cover.items()
+        )
+        return math.exp(log_bound)
+
+    # ------------------------------------------------------------------
+    # Fractional HyperCube shares (Beame et al.)
+    # ------------------------------------------------------------------
+
+    def fractional_share_exponents(
+        self,
+        cardinalities: Mapping[str, int],
+        servers: int,
+    ) -> dict[Variable, float]:
+        """Optimal fractional share *exponents* ``e_i`` with ``sum e_i = 1``.
+
+        Following Beame et al., shares are ``p_i = p**e_i`` and the per-server
+        load from relation ``R_j`` is ``|R_j| / p**(sum of e_i over its
+        variables)``.  We minimize the maximum per-relation load, which is a
+        linear program in ``(e, L)`` after taking logs::
+
+            minimize  L
+            s.t.      log|R_j| - (sum_{i in vars(j)} e_i) log p  <=  L
+                      sum_i e_i = 1,   e_i >= 0
+
+        Returns a map variable -> exponent.
+        """
+        if servers < 1:
+            raise ValueError("servers must be >= 1")
+        if servers == 1:
+            return {variable: 0.0 for variable in self.vertices}
+        log_p = math.log(servers)
+        variables = list(self.vertices)
+        var_index = {variable: i for i, variable in enumerate(variables)}
+        n_vars = len(variables)
+        # decision vector: [e_1..e_k, L]
+        costs = np.zeros(n_vars + 1)
+        costs[-1] = 1.0
+        a_ub = []
+        b_ub = []
+        for edge in self.edges:
+            row = np.zeros(n_vars + 1)
+            for variable in edge.variables:
+                row[var_index[variable]] = -log_p
+            row[-1] = -1.0
+            a_ub.append(row)
+            b_ub.append(-math.log(max(2, cardinalities[edge.alias])))
+        a_eq = np.zeros((1, n_vars + 1))
+        a_eq[0, :n_vars] = 1.0
+        bounds = [(0.0, 1.0)] * n_vars + [(None, None)]
+        result = linprog(
+            c=costs,
+            A_ub=np.array(a_ub),
+            b_ub=np.array(b_ub),
+            A_eq=a_eq,
+            b_eq=np.array([1.0]),
+            bounds=bounds,
+            method="highs",
+        )
+        if not result.success:
+            raise RuntimeError(f"share exponent LP failed: {result.message}")
+        return {variable: float(result.x[var_index[variable]]) for variable in variables}
+
+    def fractional_shares(
+        self,
+        cardinalities: Mapping[str, int],
+        servers: int,
+    ) -> dict[Variable, float]:
+        """Optimal fractional shares ``p_i = p**e_i`` (product equals ``p``)."""
+        exponents = self.fractional_share_exponents(cardinalities, servers)
+        return {
+            variable: servers**exponent for variable, exponent in exponents.items()
+        }
+
+
+@dataclass(frozen=True)
+class GYOResult:
+    """Outcome of a GYO reduction.
+
+    ``parents`` maps each atom alias to its join-tree parent alias (``None``
+    for the root) — only populated for acyclic queries.  ``removal_order``
+    lists aliases from leaves upward, which is exactly the bottom-up semijoin
+    order of the Yannakakis algorithm.
+    """
+
+    acyclic: bool
+    parents: Mapping[str, Optional[str]]
+    root: Optional[str]
+    removal_order: tuple[str, ...]
+
+    def children(self, alias: str) -> tuple[str, ...]:
+        return tuple(
+            child for child, parent in self.parents.items() if parent == alias
+        )
+
+
+def join_tree(query: ConjunctiveQuery) -> GYOResult:
+    """Join tree of an acyclic query (raises ``ValueError`` if cyclic)."""
+    result = Hypergraph(query).gyo_reduction()
+    if not result.acyclic:
+        raise ValueError(f"query {query.name} is cyclic; no join tree exists")
+    return result
+
+
+def uniform_cardinalities(
+    query: ConjunctiveQuery, size: int
+) -> dict[str, int]:
+    """Convenience: assign the same cardinality to every atom alias."""
+    return {atom.alias: size for atom in query.atoms}

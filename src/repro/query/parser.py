@@ -1,0 +1,179 @@
+"""A small Datalog parser for conjunctive queries.
+
+Grammar (informally)::
+
+    rule        := head ":-" body ["."]
+    head        := NAME "(" term ("," term)* ")"
+    body        := literal ("," literal)*
+    literal     := atom | comparison
+    atom        := [NAME ":"] NAME "(" term ("," term)* ")"
+    comparison  := term OP term          (OP in <, <=, >, >=, =, ==, !=)
+    term        := NAME | NUMBER | STRING
+
+Lower-case leading names are variables; atoms use their (capitalised or not)
+relation name as written.  Self-joins can name each copy explicitly with an
+alias prefix, mirroring the paper's ``Twitter_R``/``Twitter_S`` notation::
+
+    Triangle(x, y, z) :- R:Twitter(x, y), S:Twitter(y, z), T:Twitter(z, x).
+
+Examples
+--------
+>>> q = parse_query('Q(x, y) :- R(x, y), S(y, z), x < z.')
+>>> q.name, len(q.atoms), len(q.comparisons)
+('Q', 2, 1)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from .atoms import Atom, Comparison, ConjunctiveQuery, Constant, Term, Variable
+
+_TOKEN_SPEC = [
+    ("STRING", r'"[^"]*"'),
+    ("ARROW", r":-"),
+    ("OP", r"<=|>=|==|!=|<|>|="),
+    ("NUMBER", r"-?\d+"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("COLON", r":"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("AND", r"\bAND\b"),
+    ("SKIP", r"[ \t\r\n]+"),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+class ParseError(ValueError):
+    """Raised when the query text does not match the grammar."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} at {position}")
+        kind = match.lastgroup or ""
+        if kind != "SKIP":
+            yield _Token(kind, match.group(), position)
+        position = match.end()
+    yield _Token("EOF", "", position)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    def _peek(self, offset: int = 0) -> _Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.kind} ({token.text!r}) "
+                f"at position {token.position}"
+            )
+        return token
+
+    def parse_rule(self) -> ConjunctiveQuery:
+        name = self._expect("NAME").text
+        head = self._parse_term_list()
+        head_vars = []
+        for term in head:
+            if not isinstance(term, Variable):
+                raise ParseError("head terms must be variables")
+            head_vars.append(term)
+        self._expect("ARROW")
+        atoms: list[Atom] = []
+        comparisons: list[Comparison] = []
+        while True:
+            literal = self._parse_literal()
+            if isinstance(literal, Atom):
+                atoms.append(literal)
+            else:
+                comparisons.append(literal)
+            token = self._peek()
+            if token.kind in ("COMMA",):
+                self._advance()
+                continue
+            # Allow the paper's "pred AND pred" connective between filters.
+            if token.kind == "NAME" and token.text == "AND":
+                self._advance()
+                continue
+            break
+        if self._peek().kind == "DOT":
+            self._advance()
+        self._expect("EOF")
+        return ConjunctiveQuery(
+            name=name,
+            head=tuple(head_vars),
+            atoms=tuple(atoms),
+            comparisons=tuple(comparisons),
+        )
+
+    def _parse_literal(self) -> Atom | Comparison:
+        token = self._peek()
+        if token.kind == "NAME" and self._peek(1).kind in ("LPAREN", "COLON"):
+            return self._parse_atom()
+        return self._parse_comparison()
+
+    def _parse_atom(self) -> Atom:
+        first = self._expect("NAME").text
+        alias = ""
+        relation = first
+        if self._peek().kind == "COLON":
+            self._advance()
+            alias = first
+            relation = self._expect("NAME").text
+        terms = self._parse_term_list()
+        return Atom(relation=relation, terms=terms, alias=alias)
+
+    def _parse_term_list(self) -> tuple[Term, ...]:
+        self._expect("LPAREN")
+        terms = [self._parse_term()]
+        while self._peek().kind == "COMMA":
+            self._advance()
+            terms.append(self._parse_term())
+        self._expect("RPAREN")
+        return tuple(terms)
+
+    def _parse_term(self) -> Term:
+        token = self._advance()
+        if token.kind == "NAME":
+            return Variable(token.text)
+        if token.kind == "NUMBER":
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            return Constant(token.text[1:-1])
+        raise ParseError(f"expected a term at position {token.position}, got {token.text!r}")
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_term()
+        if not isinstance(left, Variable):
+            raise ParseError("comparison left side must be a variable")
+        op = self._expect("OP").text
+        right = self._parse_term()
+        return Comparison(left=left, op=op, right=right)
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse one Datalog rule into a :class:`ConjunctiveQuery`."""
+    return _Parser(text).parse_rule()

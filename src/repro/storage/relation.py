@@ -1,0 +1,162 @@
+"""In-memory relations and databases.
+
+Relations store rows as Python tuples of ints.  String values (e.g. Freebase
+entity names) are dictionary-encoded at load time via :class:`Database`, the
+standard trick in analytic engines; query constants are encoded the same way
+at plan time so all runtime comparisons are int comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+
+class Relation:
+    """An immutable bag of fixed-arity int tuples with named columns."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Iterable[tuple[int, ...]] = (),
+    ) -> None:
+        self.name = name
+        self.columns = tuple(columns)
+        if not self.columns:
+            raise ValueError(f"relation {name} needs at least one column")
+        self._rows: list[tuple[int, ...]] = list(rows)
+        arity = len(self.columns)
+        for row in self._rows:
+            if len(row) != arity:
+                raise ValueError(
+                    f"row {row} has arity {len(row)}, expected {arity} in {name}"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    @property
+    def rows(self) -> list[tuple[int, ...]]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name}, {self.columns}, {len(self)} rows)"
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise KeyError(f"relation {self.name} has no column {column!r}") from None
+
+    def select(self, position: int, value: int) -> "Relation":
+        """Rows whose ``position``-th attribute equals ``value``."""
+        return Relation(
+            self.name,
+            self.columns,
+            (row for row in self._rows if row[position] == value),
+        )
+
+    def filter(self, predicate: Callable[[tuple[int, ...]], bool]) -> "Relation":
+        return Relation(self.name, self.columns, (r for r in self._rows if predicate(r)))
+
+    def project(self, positions: Sequence[int], dedup: bool = False) -> "Relation":
+        """Project onto the given positions, optionally de-duplicating."""
+        columns = [self.columns[p] for p in positions]
+        projected = (tuple(row[p] for p in positions) for row in self._rows)
+        if dedup:
+            seen: dict[tuple[int, ...], None] = dict.fromkeys(projected)
+            projected = iter(seen)
+        return Relation(self.name, columns, projected)
+
+    def distinct(self) -> "Relation":
+        return Relation(self.name, self.columns, dict.fromkeys(self._rows))
+
+    def renamed(self, name: str) -> "Relation":
+        relation = Relation(name, self.columns, ())
+        relation._rows = self._rows  # share the row storage; rows are immutable
+        return relation
+
+
+Value = Union[int, str]
+
+
+class Database:
+    """A named collection of relations plus a shared string dictionary.
+
+    >>> db = Database()
+    >>> db.add_encoded("Name", ["id", "name"], [(1, "Joe Pesci")])
+    >>> db.encode("Joe Pesci") == db["Name"].rows[0][1]
+    True
+    """
+
+    def __init__(self) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._dictionary: dict[str, int] = {}
+        self._reverse: dict[int, str] = {}
+
+    # -- string dictionary -------------------------------------------------
+
+    def encode(self, value: Value) -> int:
+        """Dictionary-encode a value; ints pass through unchanged."""
+        if isinstance(value, int):
+            return value
+        if value not in self._dictionary:
+            # Encoded strings live in a distinct high range so they never
+            # collide with small integer ids used by generators.
+            code = 1_000_000_000 + len(self._dictionary)
+            self._dictionary[value] = code
+            self._reverse[code] = value
+        return self._dictionary[value]
+
+    def decode(self, code: int) -> Value:
+        return self._reverse.get(code, code)
+
+    # -- relations ----------------------------------------------------------
+
+    def add(self, relation: Relation) -> None:
+        self._relations[relation.name] = relation
+
+    def add_rows(
+        self, name: str, columns: Sequence[str], rows: Iterable[tuple[int, ...]]
+    ) -> Relation:
+        relation = Relation(name, columns, rows)
+        self.add(relation)
+        return relation
+
+    def add_encoded(
+        self, name: str, columns: Sequence[str], rows: Iterable[Sequence[Value]]
+    ) -> Relation:
+        """Add rows that may contain strings; strings are dictionary-encoded."""
+        encoded = (tuple(self.encode(value) for value in row) for row in rows)
+        return self.add_rows(name, columns, encoded)
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown relation {name!r}; known: {sorted(self._relations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def relations(self) -> Mapping[str, Relation]:
+        return dict(self._relations)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def total_rows(self) -> int:
+        return sum(len(relation) for relation in self._relations.values())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}[{len(r)}]" for n, r in self._relations.items())
+        return f"Database({parts})"

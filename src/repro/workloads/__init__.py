@@ -1,0 +1,35 @@
+"""The paper's eight evaluation queries and their datasets."""
+
+from .freebase import FREEBASE_QUERIES, Q3, Q4, Q7, Q8
+from .registry import (
+    PAPER_ORDER,
+    WORKLOADS,
+    Workload,
+    freebase_bench,
+    freebase_unit,
+    get_workload,
+    twitter_bench,
+    twitter_unit,
+)
+from .twitter import TWITTER_QUERIES, Q1, Q2, Q5, Q6
+
+__all__ = [
+    "FREEBASE_QUERIES",
+    "PAPER_ORDER",
+    "Q1",
+    "Q2",
+    "Q3",
+    "Q4",
+    "Q5",
+    "Q6",
+    "Q7",
+    "Q8",
+    "TWITTER_QUERIES",
+    "WORKLOADS",
+    "Workload",
+    "freebase_bench",
+    "freebase_unit",
+    "get_workload",
+    "twitter_bench",
+    "twitter_unit",
+]

@@ -1,0 +1,61 @@
+"""The paper's Freebase queries: Q3, Q4, Q7, Q8 (Secs. 3.3, 3.4, App. A).
+
+The queries are transcribed from the paper with one normalization: the
+paper's running text flips argument orders in a couple of atoms (e.g. it
+writes ``ActorPerform(p, cast)`` against the declared schema
+``ActorPerform(actor_id, perform_id)``); we write every atom consistently
+with the Table 1 schemas, preserving the intended semantics.
+"""
+
+from __future__ import annotations
+
+from ..query.atoms import ConjunctiveQuery
+from ..query.parser import parse_query
+
+#: Q3 — all cast members of films starring both Joe Pesci and Robert De Niro
+#: (Sec. 3.3; acyclic, 7 joins, tiny intermediates after the selective name
+#: lookups).  Freebase's first example query.
+Q3 = parse_query(
+    'Q3(cast) :- '
+    'N1:ObjectName(a1, "Joe Pesci"), AP1:ActorPerform(a1, p1), '
+    'PF1:PerformFilm(p1, film), '
+    'N2:ObjectName(a2, "Robert De Niro"), AP2:ActorPerform(a2, p2), '
+    'PF2:PerformFilm(p2, film), '
+    'PF3:PerformFilm(p, film), AP3:ActorPerform(cast, p).'
+)
+
+#: Q4 — pairs of actors who co-starred in at least two different films
+#: (Sec. 3.4; cyclic, 8 joins, enormous intermediates).  Freebase's second
+#: example query; ``f1 > f2`` enforces the two films be different.
+Q4 = parse_query(
+    "Q4(a1, a2) :- "
+    "AP1:ActorPerform(a1, p1), PF1:PerformFilm(p1, f1), "
+    "PF2:PerformFilm(p2, f1), AP2:ActorPerform(a2, p2), "
+    "AP3:ActorPerform(a2, p3), PF3:PerformFilm(p3, f2), "
+    "PF4:PerformFilm(p4, f2), AP4:ActorPerform(a1, p4), f1 > f2."
+)
+
+#: Q7 — actors honored by the Academy Awards in the 90s (App. A; acyclic
+#: 4-way join: a star join on the honor id plus the award-name lookup).
+Q7 = parse_query(
+    'Q7(a) :- '
+    'N:ObjectName(aw, "The Academy Awards"), HA:HonorAward(h, aw), '
+    'HC:HonorActor(h, a), HY:HonorYear(h, y), y >= 1990, y < 2000.'
+)
+
+#: Q8 — actor/director pairs appearing in two films (App. A; cyclic 6-way
+#: join).  Transcribed exactly as printed — the paper does not add a
+#: disequality between the two films.
+Q8 = parse_query(
+    "Q8(a, d) :- "
+    "AP1:ActorPerform(a, p1), AP2:ActorPerform(a, p2), "
+    "PF1:PerformFilm(p1, f1), PF2:PerformFilm(p2, f2), "
+    "DF1:DirectorFilm(d, f1), DF2:DirectorFilm(d, f2)."
+)
+
+FREEBASE_QUERIES: dict[str, ConjunctiveQuery] = {
+    "Q3": Q3,
+    "Q4": Q4,
+    "Q7": Q7,
+    "Q8": Q8,
+}

@@ -1,0 +1,45 @@
+"""The paper's Twitter queries: Q1, Q2, Q5, Q6 (Secs. 3.1, 3.2, App. A).
+
+All four are cyclic self-joins of the follower graph, written with explicit
+aliases exactly as the paper subscripts them (``Twitter_R``, ``Twitter_S``,
+...).  They share the property that a left-deep binary plan produces
+intermediate results far larger than input or output — the regime where
+HyperCube + Tributary join wins.
+"""
+
+from __future__ import annotations
+
+from ..query.atoms import ConjunctiveQuery
+from ..query.parser import parse_query
+
+#: Q1 — all directed triangles (Sec. 3.1).
+Q1 = parse_query(
+    "Q1(x, y, z) :- R:Twitter(x, y), S:Twitter(y, z), T:Twitter(z, x)."
+)
+
+#: Q2 — all 4-cliques: a triangle xyz plus a vertex p connected to all of it
+#: (Sec. 3.2; 6-way self-join).
+Q2 = parse_query(
+    "Q2(x, y, z, p) :- R:Twitter(x, y), S:Twitter(y, z), T:Twitter(z, p), "
+    "P:Twitter(p, x), K:Twitter(x, z), L:Twitter(y, p)."
+)
+
+#: Q5 — all directed rectangles (App. A; 4-way self-join, between Q1 and Q2).
+Q5 = parse_query(
+    "Q5(x, y, z, p) :- R:Twitter(x, y), S:Twitter(y, z), T:Twitter(z, p), "
+    "K:Twitter(p, x)."
+)
+
+#: Q6 — "two rings": two back-to-back triangles sharing the edge (x, z)
+#: (App. A; 5-way self-join — Q5 plus the K(x, z) chord).
+Q6 = parse_query(
+    "Q6(x, y, z, p) :- R:Twitter(x, y), S:Twitter(y, z), T:Twitter(z, p), "
+    "P:Twitter(p, x), K:Twitter(x, z)."
+)
+
+TWITTER_QUERIES: dict[str, ConjunctiveQuery] = {
+    "Q1": Q1,
+    "Q2": Q2,
+    "Q5": Q5,
+    "Q6": Q6,
+}

@@ -1,0 +1,167 @@
+"""Unit tests for the conjunctive-query IR."""
+
+import pytest
+
+from repro.query.atoms import (
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+    make_variables,
+)
+
+X, Y, Z = make_variables("x y z".split())
+
+
+def test_variable_identity_and_ordering():
+    assert Variable("x") == X
+    assert Variable("a") < Variable("b")
+    assert len({Variable("x"), Variable("x"), Y}) == 2
+
+
+def test_constant_repr_distinguishes_strings():
+    assert repr(Constant(3)) == "3"
+    assert repr(Constant("joe")) == '"joe"'
+    assert Constant(3) != Constant("3")
+
+
+class TestAtom:
+    def test_alias_defaults_to_relation(self):
+        atom = Atom("R", (X, Y))
+        assert atom.alias == "R"
+
+    def test_explicit_alias(self):
+        atom = Atom("Twitter", (X, Y), alias="R")
+        assert atom.alias == "R"
+        assert atom.relation == "Twitter"
+
+    def test_variables_first_occurrence_order(self):
+        atom = Atom("R", (Y, X, Y))
+        assert atom.variables() == (Y, X)
+
+    def test_constants_with_positions(self):
+        atom = Atom("R", (X, Constant("joe"), Constant(5)))
+        assert atom.constants() == ((1, Constant("joe")), (2, Constant(5)))
+
+    def test_positions_of_repeated_variable(self):
+        atom = Atom("R", (X, Y, X))
+        assert atom.positions_of(X) == (0, 2)
+        assert atom.positions_of(Y) == (1,)
+        assert atom.positions_of(Z) == ()
+
+    def test_arity(self):
+        assert Atom("R", (X, Y, Z)).arity == 3
+
+    def test_empty_atom_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("R", ())
+
+
+class TestComparison:
+    def test_variable_vs_constant(self):
+        comparison = Comparison(X, ">", Constant(5))
+        assert comparison.evaluate({X: 6})
+        assert not comparison.evaluate({X: 5})
+
+    def test_variable_vs_variable(self):
+        comparison = Comparison(X, "<", Y)
+        assert comparison.evaluate({X: 1, Y: 2})
+        assert not comparison.evaluate({X: 2, Y: 2})
+
+    def test_unbound_sides_defer(self):
+        comparison = Comparison(X, "<", Y)
+        assert comparison.evaluate({})
+        assert comparison.evaluate({X: 99})
+        assert comparison.evaluate({Y: 0})
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("<", 1, 2, True),
+            ("<=", 2, 2, True),
+            (">", 3, 2, True),
+            (">=", 2, 3, False),
+            ("=", 2, 2, True),
+            ("==", 2, 3, False),
+            ("!=", 2, 3, True),
+        ],
+    )
+    def test_all_operators(self, op, left, right, expected):
+        comparison = Comparison(X, op, Y)
+        assert comparison.evaluate({X: left, Y: right}) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison(X, "<>", Y)
+
+    def test_variables(self):
+        assert Comparison(X, "<", Y).variables() == (X, Y)
+        assert Comparison(X, "<", Constant(1)).variables() == (X,)
+
+
+class TestConjunctiveQuery:
+    def _triangle(self):
+        return ConjunctiveQuery(
+            "T",
+            (X, Y, Z),
+            (
+                Atom("E", (X, Y), alias="R"),
+                Atom("E", (Y, Z), alias="S"),
+                Atom("E", (Z, X), alias="T"),
+            ),
+        )
+
+    def test_variables_in_first_occurrence_order(self):
+        assert self._triangle().variables() == (X, Y, Z)
+
+    def test_join_variables_triangle(self):
+        assert set(self._triangle().join_variables()) == {X, Y, Z}
+
+    def test_join_variables_excludes_singletons(self):
+        w = Variable("w")
+        query = ConjunctiveQuery(
+            "Q", (X,), (Atom("R", (X, Y)), Atom("S", (Y, w)))
+        )
+        assert query.join_variables() == (Y,)
+
+    def test_full_query_detection(self):
+        assert self._triangle().is_full()
+        partial = ConjunctiveQuery("Q", (X,), (Atom("R", (X, Y)),))
+        assert not partial.is_full()
+
+    def test_head_variable_must_be_in_body(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery("Q", (Z,), (Atom("R", (X, Y)),))
+
+    def test_comparison_variable_must_be_in_body(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery(
+                "Q",
+                (X,),
+                (Atom("R", (X, Y)),),
+                comparisons=(Comparison(Z, "<", Constant(1)),),
+            )
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery(
+                "Q", (X,), (Atom("R", (X, Y)), Atom("R", (Y, X)))
+            )
+
+    def test_atoms_with(self):
+        triangle = self._triangle()
+        assert {a.alias for a in triangle.atoms_with(X)} == {"R", "T"}
+
+    def test_atom_by_alias(self):
+        triangle = self._triangle()
+        assert triangle.atom_by_alias("S").terms == (Y, Z)
+        with pytest.raises(KeyError):
+            triangle.atom_by_alias("missing")
+
+    def test_relations_deduplicates(self):
+        assert self._triangle().relations() == ("E",)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery("Q", (), ())

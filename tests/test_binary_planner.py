@@ -1,0 +1,80 @@
+"""Tests for the left-deep binary join planner."""
+
+from repro.planner.binary import left_deep_plan, shared_variables
+from repro.query.atoms import Variable
+from repro.query.catalog import Catalog
+from repro.query.parser import parse_query
+from repro.storage.relation import Database
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+def make_db(sizes):
+    db = Database()
+    for name, size in sizes.items():
+        db.add_rows(name, ("a", "b"), [(i, i % 10) for i in range(size)])
+    return db
+
+
+class TestLeftDeepPlan:
+    def test_starts_with_smallest_relation(self):
+        query = parse_query("Q(x,y,z) :- R(x,y), S(y,z).")
+        db = make_db({"R": 1000, "S": 10})
+        plan = left_deep_plan(query, Catalog(db))
+        assert plan.order[0] == "S"
+
+    def test_covers_every_atom_once(self):
+        query = parse_query(
+            "Q(x,y,z,p) :- R:E(x,y), S:E(y,z), T:E(z,p), K:E(p,x)."
+        )
+        db = make_db({"E": 100})
+        plan = left_deep_plan(query, Catalog(db))
+        assert sorted(plan.order) == ["K", "R", "S", "T"]
+
+    def test_prefers_connected_atoms(self):
+        # U(p, q) is disconnected from R/S; it must come last
+        query = parse_query("Q(x,y,z,p,q) :- R(x,y), S(y,z), U(p,q).")
+        db = make_db({"R": 100, "S": 100, "U": 1})
+        plan = left_deep_plan(query, Catalog(db))
+        # U is smallest so it starts, but then the planner must not be
+        # forced into a cross product when a connected pair exists later;
+        # all we guarantee: every consecutive prefix is as connected as
+        # possible.  With U first, R and S join each other before crossing.
+        assert plan.order[0] == "U"
+        assert set(plan.order[1:]) == {"R", "S"}
+
+    def test_selective_constants_shrink_start(self):
+        query = parse_query('Q(y) :- R(3, x), S(x, y).')
+        db = Database()
+        db.add_rows("R", ("a", "b"), [(i, i) for i in range(100)])
+        db.add_rows("S", ("a", "b"), [(i, i) for i in range(50)])
+        plan = left_deep_plan(query, Catalog(db))
+        assert plan.order[0] == "R"  # post-selection size is 1
+
+    def test_estimated_sizes_monotone_fields(self):
+        query = parse_query("Q(x,y,z) :- R(x,y), S(y,z).")
+        db = make_db({"R": 100, "S": 100})
+        plan = left_deep_plan(query, Catalog(db))
+        assert len(plan.estimated_sizes) == 2
+        assert all(size >= 1 for size in plan.estimated_sizes)
+
+    def test_freebase_q3_has_selective_prefix(self):
+        from repro.workloads import Q3, freebase_unit
+
+        db = freebase_unit()
+        plan = left_deep_plan(Q3, Catalog(db))
+        # the two selective ObjectName lookups must be joined early,
+        # keeping intermediates small (the paper's Fig. 5 plan shape)
+        assert plan.order[0] in ("N1", "N2")
+
+
+class TestSharedVariables:
+    def test_intersection_preserves_left_order(self):
+        query = parse_query("Q(x,y,z) :- R(x,y), S(y,z).")
+        atom_s = query.atom_by_alias("S")
+        assert shared_variables((X, Y), atom_s) == (Y,)
+
+    def test_disjoint_is_empty(self):
+        query = parse_query("Q(x,y,z) :- R(x,y), S(z,z).")
+        atom_s = query.atom_by_alias("S")
+        assert shared_variables((X, Y), atom_s) == ()

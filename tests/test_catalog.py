@@ -1,0 +1,89 @@
+"""Tests for the statistics catalog."""
+
+import pytest
+
+from repro.query.atoms import Atom, Constant, Variable
+from repro.query.catalog import Catalog, cardinalities_for
+from repro.query.parser import parse_query
+from repro.storage.relation import Database
+
+X, Y = Variable("x"), Variable("y")
+
+
+def make_db():
+    db = Database()
+    db.add_rows(
+        "R", ("a", "b"),
+        [(1, 10), (1, 20), (2, 10), (2, 10), (3, 30)],
+    )
+    db.add_encoded("Name", ("id", "name"), [(1, "joe"), (2, "bob"), (3, "joe")])
+    return db
+
+
+class TestCardinality:
+    def test_relation_cardinality(self):
+        catalog = Catalog(make_db())
+        assert catalog.cardinality("R") == 5
+
+    def test_atom_cardinalities_share_base_size(self):
+        query = parse_query("Q(x,y,z) :- R1:R(x,y), R2:R(y,z).")
+        catalog = Catalog(make_db())
+        cards = catalog.atom_cardinalities(query)
+        assert cards == {"R1": 5, "R2": 5}
+
+    def test_atom_cardinality_applies_constants(self):
+        catalog = Catalog(make_db())
+        atom = Atom("R", (Constant(1), Y))
+        assert catalog.atom_cardinality(atom) == 2
+
+    def test_atom_cardinality_with_string_constant(self):
+        catalog = Catalog(make_db())
+        atom = Atom("Name", (X, Constant("joe")))
+        assert catalog.atom_cardinality(atom) == 2
+
+
+class TestDistinctCounts:
+    def test_distinct_values(self):
+        catalog = Catalog(make_db())
+        assert catalog.distinct_values("R", 0) == 3
+        assert catalog.distinct_values("R", 1) == 3
+
+    def test_distinct_prefix_pairs(self):
+        catalog = Catalog(make_db())
+        assert catalog.distinct_prefix("R", (0, 1)) == 4
+
+    def test_empty_prefix(self):
+        catalog = Catalog(make_db())
+        assert catalog.distinct_prefix("R", ()) == 1
+
+    def test_caching_returns_same_value(self):
+        catalog = Catalog(make_db())
+        first = catalog.distinct_prefix("R", (0,))
+        second = catalog.distinct_prefix("R", (0,))
+        assert first == second == 3
+
+    def test_atom_prefix_count_positions_with_constants(self):
+        catalog = Catalog(make_db())
+        atom = Atom("R", (Constant(1), Y))
+        # rows with a=1: (1,10), (1,20) -> 2 distinct b values at position 1
+        assert catalog.atom_prefix_count_positions(atom, (1,)) == 2
+
+    def test_atom_prefix_count_empty_positions(self):
+        catalog = Catalog(make_db())
+        atom = Atom("R", (X, Y))
+        assert catalog.atom_prefix_count_positions(atom, ()) == 1
+
+
+def test_cardinalities_for_pushes_selections():
+    db = make_db()
+    query = parse_query('Q(x) :- Name(x, "joe"), R(x, y).')
+    cards = cardinalities_for(query, db)
+    assert cards["Name"] == 2
+    assert cards["R"] == 5
+
+
+def test_cardinalities_for_never_returns_zero():
+    db = make_db()
+    query = parse_query('Q(x) :- Name(x, "missing"), R(x, y).')
+    cards = cardinalities_for(query, db)
+    assert cards["Name"] == 1  # clamped so the LPs stay well-defined

@@ -1,0 +1,97 @@
+"""Tests for virtual-cell allocation (Naïve Algorithms 2/3, Appendix B)."""
+
+import pytest
+
+from repro.hypercube.cells import (
+    allocation_workload,
+    coverage_fractions,
+    greedy_cell_allocation,
+    random_cell_allocation,
+)
+from repro.hypercube.shares import optimal_fractional_workload
+from repro.query.parser import parse_query
+
+TRIANGLE = parse_query("T(x,y,z) :- R:E(x,y), S:E(y,z), T:E(z,x).")
+PATH = parse_query("A(x,y,z,p) :- R(x,y), S(y,z), T(z,p).")
+
+
+def uniform(query, size=10**6):
+    return {atom.alias: size for atom in query.atoms}
+
+
+class TestRandomAllocation:
+    def test_assignment_covers_all_cells(self):
+        allocation = random_cell_allocation(TRIANGLE, uniform(TRIANGLE), 4, cells=64)
+        assert allocation.cells == allocation.config.workers_used
+        assert all(0 <= w < 4 for w in allocation.assignment)
+
+    def test_deterministic_given_seed(self):
+        a = random_cell_allocation(TRIANGLE, uniform(TRIANGLE), 4, cells=64, seed=1)
+        b = random_cell_allocation(TRIANGLE, uniform(TRIANGLE), 4, cells=64, seed=1)
+        assert a.assignment == b.assignment
+
+    def test_random_allocation_replicates_heavily(self):
+        """Appendix B: random allocation makes every worker cover most of
+        every dimension, so workload blows up vs. the fractional optimum."""
+        cards = uniform(TRIANGLE)
+        allocation = random_cell_allocation(TRIANGLE, cards, 64, cells=4096)
+        ratio = allocation_workload(TRIANGLE, cards, allocation) / (
+            optimal_fractional_workload(TRIANGLE, cards, 64)
+        )
+        assert ratio > 2.0  # paper Fig. 11: ~3.7 for Q1
+
+    def test_greedy_beats_random(self):
+        cards = uniform(TRIANGLE)
+        random_alloc = random_cell_allocation(TRIANGLE, cards, 64, cells=4096)
+        greedy_alloc = greedy_cell_allocation(TRIANGLE, cards, 64, cells=4096)
+        assert allocation_workload(TRIANGLE, cards, greedy_alloc) < (
+            allocation_workload(TRIANGLE, cards, random_alloc)
+        )
+
+
+class TestWorkloadAccounting:
+    def test_single_worker_gets_everything(self):
+        cards = uniform(TRIANGLE, 1000)
+        allocation = greedy_cell_allocation(TRIANGLE, cards, 1, cells=8)
+        # one worker holds all cells -> full copy of every relation
+        assert allocation_workload(TRIANGLE, cards, allocation) == pytest.approx(
+            3000.0
+        )
+
+    def test_workload_at_least_fair_share(self):
+        cards = uniform(TRIANGLE)
+        for allocation in (
+            random_cell_allocation(TRIANGLE, cards, 8, cells=64),
+            greedy_cell_allocation(TRIANGLE, cards, 8, cells=64),
+        ):
+            load = allocation_workload(TRIANGLE, cards, allocation)
+            assert load >= sum(cards.values()) / 8 - 1e-9
+
+
+class TestCoverage:
+    def test_appendix_b_coverage_pattern(self):
+        """Fig. 18's observation: with random allocation, each worker covers
+        a large fraction of every dimension's hash range."""
+        cards = uniform(PATH)
+        allocation = random_cell_allocation(PATH, cards, 4, cells=64, seed=0)
+        fractions = coverage_fractions(allocation)
+        for worker_fractions in fractions:
+            nontrivial = [f for f in worker_fractions.values() if f > 0]
+            assert nontrivial, "every worker owns at least one cell"
+            assert max(nontrivial) > 0.5
+
+    def test_greedy_coverage_is_tighter_on_leading_dimension(self):
+        cards = uniform(PATH)
+        greedy = greedy_cell_allocation(PATH, cards, 4, cells=64)
+        random_alloc = random_cell_allocation(PATH, cards, 4, cells=64, seed=0)
+        lead = greedy.config.order[0]
+        lead_index = greedy.config.order.index(lead)
+        greedy_lead = max(f[lead_index] for f in coverage_fractions(greedy))
+        random_lead = max(f[lead_index] for f in coverage_fractions(random_alloc))
+        assert greedy_lead <= random_lead
+
+    def test_cells_of_worker(self):
+        cards = uniform(TRIANGLE, 100)
+        allocation = greedy_cell_allocation(TRIANGLE, cards, 2, cells=8)
+        total = sum(len(allocation.cells_of_worker(w)) for w in range(2))
+        assert total == allocation.cells

@@ -1,0 +1,85 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+TRIANGLE = "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)."
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", TRIANGLE])
+        assert args.dataset == "twitter"
+        assert args.strategy == "HC_TJ"
+
+    def test_grid_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["grid", "Q99"])
+
+
+class TestCommands:
+    def test_run_prints_metrics(self, capsys):
+        code = main(["run", TRIANGLE, "--workers", "4", "--show-rows", "2"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "tuples shuffled" in captured
+        assert "hypercube" in captured
+
+    def test_grid_unit_scale(self, capsys):
+        code = main(["grid", "Q7", "--workers", "4", "--scale", "unit"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "HC_TJ" in captured
+        assert "consistent: True" in captured
+
+    def test_config_for_workload(self, capsys):
+        code = main(["config", "Q1", "--workers", "64", "--scale", "unit"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "fractional shares" in captured
+        assert "Algorithm 1" in captured
+
+    def test_config_for_adhoc_query(self, capsys):
+        code = main(
+            ["config", "Q(x,y) :- R(x,y), S(y,x).", "--workers", "4"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Algorithm 1" in captured
+
+    def test_workloads_listing(self, capsys):
+        code = main(["workloads"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        for name in ("Q1", "Q4", "Q8"):
+            assert name in captured
+
+    def test_unknown_dataset_exits(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            args = parser.parse_args(["run", TRIANGLE, "--dataset", "nope"])
+
+
+def test_fractional_edge_packing_triangle():
+    from repro.query.hypergraph import Hypergraph
+    from repro.query.parser import parse_query
+
+    triangle = parse_query("T(x,y,z) :- R:E(x,y), S:E(y,z), T:E(z,x).")
+    packing = Hypergraph(triangle).fractional_edge_packing()
+    assert sum(packing.values()) == pytest.approx(1.5, rel=1e-6)
+    # per-vertex capacity respected
+    for vertex in ("x", "y", "z"):
+        covering = sum(
+            weight
+            for alias, weight in packing.items()
+            for atom_vars in [
+                {v.name for v in triangle.atom_by_alias(alias).variables()}
+            ]
+            if vertex in atom_vars
+        )
+        assert covering <= 1 + 1e-9

@@ -1,0 +1,184 @@
+"""Integration tests: the six strategies agree and their stats make sense."""
+
+import pytest
+
+from repro.engine.cluster import Cluster
+from repro.engine.memory import MemoryBudget
+from repro.planner.executor import execute
+from repro.planner.plans import ALL_STRATEGIES, HC_TJ, RS_HJ, RS_TJ, Strategy
+from repro.query.parser import parse_query
+from repro.storage.generators import twitter_database
+from repro.storage.relation import Database
+
+TRIANGLE = parse_query(
+    "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)."
+)
+
+
+def run(query, db, strategy, workers=5, memory=None):
+    cluster = Cluster(workers, MemoryBudget(per_worker_tuples=memory))
+    cluster.load(db)
+    return execute(query, cluster, strategy)
+
+
+@pytest.fixture(scope="module")
+def twitter_db():
+    return twitter_database(nodes=200, edges=900, seed=5)
+
+
+class TestStrategyAgreement:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+    def test_triangle_agrees_with_reference(self, twitter_db, strategy):
+        reference = set(run(TRIANGLE, twitter_db, RS_HJ).rows)
+        result = run(TRIANGLE, twitter_db, strategy)
+        assert not result.failed
+        assert set(result.rows) == reference
+
+    @pytest.mark.parametrize("workers", [1, 2, 3, 7, 16])
+    def test_worker_count_does_not_change_results(self, twitter_db, workers):
+        reference = set(run(TRIANGLE, twitter_db, RS_HJ, workers=4).rows)
+        for strategy in (RS_HJ, HC_TJ):
+            result = run(TRIANGLE, twitter_db, strategy, workers=workers)
+            assert set(result.rows) == reference
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+    def test_projection_query_agrees(self, twitter_db, strategy):
+        query = parse_query("P(x) :- R:Twitter(x,y), S:Twitter(y,x).")
+        reference = set(run(query, twitter_db, RS_HJ).rows)
+        result = run(query, twitter_db, strategy)
+        assert set(result.rows) == reference
+        # deduplicated projection
+        assert len(result.rows) == len(set(result.rows))
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+    def test_comparison_query_agrees(self, twitter_db, strategy):
+        query = parse_query(
+            "P(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), x < z."
+        )
+        reference = set(run(query, twitter_db, RS_HJ).rows)
+        result = run(query, twitter_db, strategy)
+        assert set(result.rows) == reference
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+    def test_constants_and_strings_agree(self, strategy):
+        db = Database()
+        db.add_encoded(
+            "Name", ("id", "name"), [(1, "joe"), (2, "bob"), (3, "joe")]
+        )
+        db.add_rows("Act", ("id", "film"), [(1, 7), (2, 8), (3, 7), (3, 9)])
+        query = parse_query('Q(f) :- Name(x, "joe"), Act(x, f).')
+        result = run(query, db, strategy, workers=3)
+        assert set(result.rows) == {(7,), (9,)}
+
+
+class TestStatsSanity:
+    def test_hypercube_shuffles_once_per_atom(self, twitter_db):
+        result = run(TRIANGLE, twitter_db, HC_TJ, workers=8)
+        assert len(result.stats.shuffles) == 3
+        assert all(r.name.startswith("HCS") for r in result.stats.shuffles)
+
+    def test_regular_shuffle_includes_intermediates(self, twitter_db):
+        result = run(TRIANGLE, twitter_db, RS_HJ, workers=8)
+        # two join steps: R+S shuffles, then intermediate + T
+        assert len(result.stats.shuffles) == 4
+
+    def test_broadcast_keeps_largest_in_place(self, twitter_db):
+        result = run(TRIANGLE, twitter_db, Strategy.parse("BR_HJ"), workers=8)
+        assert len(result.stats.shuffles) == 2  # only two of three copies move
+
+    def test_wall_clock_not_more_than_cpu(self, twitter_db):
+        for strategy in ALL_STRATEGIES:
+            stats = run(TRIANGLE, twitter_db, strategy, workers=8).stats
+            assert stats.wall_clock <= stats.total_cpu + 1e-9
+
+    def test_result_count_matches_rows(self, twitter_db):
+        result = run(TRIANGLE, twitter_db, HC_TJ, workers=8)
+        assert result.stats.result_count == len(result.rows)
+
+    def test_elapsed_seconds_recorded(self, twitter_db):
+        result = run(TRIANGLE, twitter_db, RS_HJ)
+        assert result.stats.elapsed_seconds > 0
+
+    def test_hc_config_attached(self, twitter_db):
+        result = run(TRIANGLE, twitter_db, HC_TJ, workers=8)
+        assert result.hc_config is not None
+        assert result.hc_config.workers_used <= 8
+
+
+class TestFailureModes:
+    def test_oom_reported_as_failure(self, twitter_db):
+        result = run(TRIANGLE, twitter_db, RS_TJ, workers=2, memory=50)
+        assert result.failed
+        assert result.rows == []
+        assert "memory" in result.stats.failure
+
+    def test_unloaded_cluster_rejected(self, twitter_db):
+        cluster = Cluster(2)
+        with pytest.raises(RuntimeError):
+            execute(TRIANGLE, cluster, RS_HJ)
+
+    def test_tight_budget_fails_tj_before_hj(self, twitter_db):
+        """The sort materialization makes TJ hit the budget first."""
+        budgets_failing_tj = []
+        for budget in (800, 1600, 3200, 6400, 12800):
+            hj = run(TRIANGLE, twitter_db, RS_HJ, workers=4, memory=budget)
+            tj = run(TRIANGLE, twitter_db, RS_TJ, workers=4, memory=budget)
+            if tj.failed and not hj.failed:
+                budgets_failing_tj.append(budget)
+        assert budgets_failing_tj, "some budget must separate RS_TJ from RS_HJ"
+
+
+class TestSingleWorker:
+    def test_all_strategies_degenerate_gracefully(self, twitter_db):
+        reference = None
+        for strategy in ALL_STRATEGIES:
+            result = run(TRIANGLE, twitter_db, strategy, workers=1)
+            rows = set(result.rows)
+            if reference is None:
+                reference = rows
+            assert rows == reference
+
+
+class TestPipelineDetails:
+    def test_co_partitioned_intermediate_skips_reshuffle(self):
+        """Two consecutive joins on the same key: the intermediate is
+        already partitioned correctly and must not be re-shuffled."""
+        from repro.query.parser import parse_query
+        from repro.storage.relation import Database
+
+        db = Database()
+        db.add_rows("A", ("a", "b"), [(i, i % 5) for i in range(40)])
+        db.add_rows("B", ("a", "b"), [(i % 5, i) for i in range(40)])
+        db.add_rows("C", ("a", "b"), [(i % 5, i + 100) for i in range(40)])
+        # both joins are on y: A(x,y) |> B(y,u) |> C(y,v)
+        query = parse_query("Q(x,y,u,v) :- A(x,y), B(y,u), C(y,v).")
+        result = run(query, db, RS_HJ, workers=4)
+        names = [record.name for record in result.stats.shuffles]
+        # step1 shuffles A and B; step2 only ships C (intermediate stays)
+        lefts = [n for n in names if "left" in n]
+        assert len(lefts) == 1, names
+
+    def test_cartesian_step_broadcasts_disconnected_atom(self):
+        from repro.query.parser import parse_query
+        from repro.storage.relation import Database
+
+        db = Database()
+        db.add_rows("A", ("a", "b"), [(1, 2), (3, 4)])
+        db.add_rows("B", ("a", "b"), [(7, 8)])
+        query = parse_query("Q(x,y,u,v) :- A(x,y), B(u,v).")
+        result = run(query, db, RS_HJ, workers=3)
+        assert set(result.rows) == {(1, 2, 7, 8), (3, 4, 7, 8)}
+        assert any("cartesian" in r.name for r in result.stats.shuffles)
+
+    def test_rs_plan_override_changes_shuffle_sequence(self):
+        from repro.experiments.harness import run_grid
+        from repro.storage.generators import twitter_database
+        from repro.workloads import Q1
+
+        db = twitter_database(nodes=150, edges=600, seed=2)
+        natural = run_grid(Q1, db, workers=3, strategies=[RS_HJ])
+        forced = run_grid(
+            Q1, db, workers=3, strategies=[RS_HJ], plan_order=("T", "S", "R")
+        )
+        assert forced["RS_HJ"].plan.order == ("T", "S", "R")
+        assert set(forced["RS_HJ"].rows) == set(natural["RS_HJ"].rows)

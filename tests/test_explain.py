@@ -1,0 +1,54 @@
+"""Tests for the query explanation facility."""
+
+import pytest
+
+from repro.planner.explain import explain
+from repro.storage.generators import twitter_database
+from repro.workloads import Q1, Q7, freebase_unit
+
+
+@pytest.fixture(scope="module")
+def twitter_db():
+    return twitter_database(nodes=300, edges=1200, seed=4)
+
+
+class TestExplain:
+    def test_triangle_explanation_fields(self, twitter_db):
+        explanation = explain(Q1, twitter_db, workers=16)
+        assert explanation.cyclic is True
+        assert explanation.agm_bound == pytest.approx(
+            len(twitter_db["Twitter"]) ** 1.5, rel=1e-6
+        )
+        assert sorted(explanation.plan.order) == ["R", "S", "T"]
+        assert explanation.hc_config.workers_used <= 16
+        assert len(explanation.variable_order) == 3
+        assert explanation.hc_replication >= 1.0
+        # Algorithm 1 stays close to the fractional optimum
+        assert (
+            explanation.hc_workload
+            <= 2 * explanation.hc_optimal_workload + 1e-9
+        )
+
+    def test_q7_uses_broadcast_like_config(self):
+        db = freebase_unit()
+        explanation = explain(Q7, db, workers=16)
+        assert explanation.cyclic is False
+        dims = {v.name: d for v, d in explanation.hc_config.dims.items()}
+        assert dims["aw"] == 1  # tiny name lookup gets no share
+
+    def test_render_is_complete(self, twitter_db):
+        text = explain(Q1, twitter_db, workers=16).render()
+        for fragment in (
+            "cyclic",
+            "AGM bound",
+            "left-deep plan",
+            "fractional shares",
+            "hypercube config",
+            "tributary variable order",
+        ):
+            assert fragment in text
+
+    def test_no_execution_happens(self, twitter_db):
+        # explain must be cheap: it returns without touching a cluster
+        explanation = explain(Q1, twitter_db, workers=64)
+        assert explanation.workers == 64

@@ -1,0 +1,140 @@
+"""Tests for the synthetic dataset generators."""
+
+from collections import Counter
+
+from repro.storage.generators import (
+    ACADEMY_AWARDS,
+    JOE_PESCI,
+    ROBERT_DE_NIRO,
+    FreebaseConfig,
+    freebase_database,
+    random_relation,
+    twitter_database,
+    twitter_graph,
+)
+
+
+class TestTwitter:
+    def test_deterministic(self):
+        a = twitter_graph(nodes=500, edges=2000, seed=3)
+        b = twitter_graph(nodes=500, edges=2000, seed=3)
+        assert a.rows == b.rows
+
+    def test_different_seeds_differ(self):
+        a = twitter_graph(nodes=500, edges=2000, seed=3)
+        b = twitter_graph(nodes=500, edges=2000, seed=4)
+        assert a.rows != b.rows
+
+    def test_no_self_loops_or_duplicates(self):
+        graph = twitter_graph(nodes=300, edges=1500)
+        assert all(src != dst for src, dst in graph.rows)
+        assert len(set(graph.rows)) == len(graph.rows)
+
+    def test_edge_count_close_to_target(self):
+        graph = twitter_graph(nodes=2000, edges=5000)
+        assert 0.9 * 5000 <= len(graph) <= 5000
+
+    def test_power_law_skew_present(self):
+        graph = twitter_graph(nodes=2000, edges=10000)
+        in_degrees = Counter(dst for _, dst in graph.rows)
+        top = max(in_degrees.values())
+        average = len(graph) / len(in_degrees)
+        # hubs must be far above average for the paper's skew results
+        assert top > 10 * average
+
+    def test_two_path_blowup(self):
+        # the Q1 intermediate must dwarf the input (paper: ~45x)
+        graph = twitter_graph()
+        out_d = Counter(s for s, _ in graph.rows)
+        in_d = Counter(d for _, d in graph.rows)
+        paths = sum(in_d[v] * out_d.get(v, 0) for v in in_d)
+        assert paths > 20 * len(graph)
+
+    def test_database_wrapper(self):
+        db = twitter_database(nodes=200, edges=500)
+        assert "Twitter" in db
+        assert db["Twitter"].columns == ("src", "dst")
+
+
+class TestFreebase:
+    def test_deterministic(self):
+        cfg = FreebaseConfig(seed=5)
+        a = freebase_database(cfg)
+        b = freebase_database(cfg)
+        assert a["ActorPerform"].rows == b["ActorPerform"].rows
+
+    def test_all_relations_present(self):
+        db = freebase_database()
+        for name in (
+            "ObjectName",
+            "ActorPerform",
+            "PerformFilm",
+            "DirectorFilm",
+            "HonorAward",
+            "HonorActor",
+            "HonorYear",
+        ):
+            assert name in db
+
+    def test_objectname_is_largest(self):
+        db = freebase_database()
+        sizes = {name: len(rel) for name, rel in db.relations().items()}
+        assert sizes["ObjectName"] == max(sizes.values())
+
+    def test_named_entities_are_selective(self):
+        db = freebase_database()
+        for name in (JOE_PESCI, ROBERT_DE_NIRO, ACADEMY_AWARDS):
+            code = db.encode(name)
+            matches = [r for r in db["ObjectName"].rows if r[1] == code]
+            assert len(matches) == 1
+
+    def test_joe_and_deniro_costar(self):
+        db = freebase_database()
+        joe = db.encode(JOE_PESCI)
+        deniro = db.encode(ROBERT_DE_NIRO)
+        joe_id = next(r[0] for r in db["ObjectName"].rows if r[1] == joe)
+        deniro_id = next(r[0] for r in db["ObjectName"].rows if r[1] == deniro)
+        perf_film = dict(db["PerformFilm"].rows)
+        films_of = lambda actor: {
+            perf_film[p] for a, p in db["ActorPerform"].rows if a == actor
+        }
+        assert films_of(joe_id) & films_of(deniro_id)
+
+    def test_named_actors_in_zipf_tail(self):
+        db = freebase_database()
+        joe = db.encode(JOE_PESCI)
+        joe_id = next(r[0] for r in db["ObjectName"].rows if r[1] == joe)
+        joe_perfs = sum(1 for a, _ in db["ActorPerform"].rows if a == joe_id)
+        assert joe_perfs <= 20  # selective, not a superstar
+
+    def test_id_ranges_disjoint(self):
+        db = freebase_database()
+        actors = {a for a, _ in db["ActorPerform"].rows}
+        perfs = {p for _, p in db["ActorPerform"].rows}
+        films = {f for _, f in db["PerformFilm"].rows}
+        directors = {d for d, _ in db["DirectorFilm"].rows}
+        assert not actors & perfs
+        assert not perfs & films
+        assert not films & directors
+
+    def test_honor_years_in_range(self):
+        db = freebase_database()
+        years = {y for _, y in db["HonorYear"].rows}
+        assert min(years) >= 1960 and max(years) < 2015
+
+    def test_every_performance_has_one_film_and_actor(self):
+        db = freebase_database()
+        ap = Counter(p for _, p in db["ActorPerform"].rows)
+        pf = Counter(p for p, _ in db["PerformFilm"].rows)
+        assert set(ap) == set(pf)
+        assert max(ap.values()) == 1
+        assert max(pf.values()) == 1
+
+
+def test_random_relation_shape_and_determinism():
+    a = random_relation("R", 3, 50, 10, seed=1)
+    b = random_relation("R", 3, 50, 10, seed=1)
+    assert a.rows == b.rows
+    assert a.arity == 3
+    assert len(a) == 50
+    assert all(0 <= v < 10 for row in a.rows for v in row)

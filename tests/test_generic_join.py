@@ -1,0 +1,114 @@
+"""Tests for the NPRR-style Generic Join and its TJ equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.leapfrog.generic_join import GenericJoin, generic_join
+from repro.leapfrog.tributary import tributary_join
+from repro.query.atoms import Variable
+from repro.query.parser import parse_query
+from repro.storage.relation import Database, Relation
+
+TRIANGLE = parse_query("Q(x,y,z) :- R:E(x,y), S:E(y,z), T:E(z,x).")
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=50
+)
+
+
+def edges_relation(edges, name="E"):
+    return Relation(name, ("a", "b"), list(dict.fromkeys(edges)))
+
+
+class TestEquivalenceWithTributary:
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle(self, edges):
+        relation = edges_relation(edges)
+        relations = {"R": relation, "S": relation, "T": relation}
+        assert set(generic_join(TRIANGLE, relations)) == set(
+            tributary_join(TRIANGLE, relations)
+        )
+
+    @given(edge_lists, edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_path_query(self, left, right):
+        query = parse_query("Q(x,y,z) :- R(x,y), S(y,z).")
+        relations = {
+            "R": edges_relation(left, "R"),
+            "S": edges_relation(right, "S"),
+        }
+        assert set(generic_join(query, relations)) == set(
+            tributary_join(query, relations)
+        )
+
+    def test_comparisons_and_constants(self):
+        query = parse_query("Q(y,z) :- R(3, y), S(y, z), y < z.")
+        relation = Relation("R", ("a", "b"), [(3, 1), (3, 5), (1, 2), (5, 9)])
+        relations = {"R": relation, "S": relation.renamed("S")}
+        assert set(generic_join(query, relations)) == set(
+            tributary_join(query, relations)
+        )
+
+    def test_projection_dedup(self):
+        query = parse_query("Q(x) :- R(x,y).")
+        relation = Relation("R", ("a", "b"), [(1, 1), (1, 2), (2, 1)])
+        result = generic_join(query, {"R": relation})
+        assert sorted(result) == [(1,), (2,)]
+
+    def test_string_constants_with_encoder(self):
+        db = Database()
+        db.add_encoded("Name", ("id", "name"), [(1, "joe"), (2, "bob")])
+        db.add_rows("Act", ("id", "film"), [(1, 7), (2, 8)])
+        query = parse_query('Q(f) :- Name(x, "joe"), Act(x, f).')
+        result = generic_join(
+            query, {"Name": db["Name"], "Act": db["Act"]}, encoder=db.encode
+        )
+        assert set(result) == {(7,)}
+
+
+class TestMechanics:
+    def test_empty_relation_short_circuits(self):
+        relation = edges_relation([])
+        result = generic_join(
+            TRIANGLE, {"R": relation, "S": relation, "T": relation}
+        )
+        assert result == []
+
+    def test_stats_counted(self):
+        relation = edges_relation([(0, 1), (1, 2), (2, 0), (0, 2)])
+        join = GenericJoin(
+            TRIANGLE, {"R": relation, "S": relation, "T": relation}
+        )
+        results = join.run()
+        assert join.stats.probes > 0
+        assert join.stats.index_cost == 3 * 4
+        assert join.stats.results == len(results)
+
+    def test_order_must_cover_variables(self):
+        relation = edges_relation([(1, 2)])
+        with pytest.raises(ValueError):
+            GenericJoin(
+                TRIANGLE,
+                {"R": relation, "S": relation, "T": relation},
+                order=(Variable("x"),),
+            )
+
+    def test_repeated_variable_atom(self):
+        query = parse_query("Q(x) :- R(x,x).")
+        relation = Relation("R", ("a", "b"), [(1, 1), (1, 2), (3, 3)])
+        assert set(generic_join(query, {"R": relation})) == {(1,), (3,)}
+
+    def test_any_order_same_results(self):
+        relation = edges_relation([(0, 1), (1, 2), (2, 0), (1, 0), (0, 2)])
+        relations = {"R": relation, "S": relation, "T": relation}
+        import itertools
+
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        expected = None
+        for order in itertools.permutations((x, y, z)):
+            got = set(GenericJoin(TRIANGLE, relations, order=order).run())
+            if expected is None:
+                expected = got
+            assert got == expected

@@ -1,0 +1,110 @@
+"""Tests for the experiment harness and its paper-style formatting."""
+
+import pytest
+
+from repro.experiments.harness import (
+    figure_rows,
+    format_figure,
+    format_shuffle_table,
+    input_size,
+    run_grid,
+    run_workload,
+    shuffle_rows,
+    table6_row,
+)
+from repro.planner.plans import ALL_STRATEGIES, HC_TJ, RS_HJ, RS_TJ
+from repro.storage.generators import twitter_database
+from repro.workloads import Q1
+
+
+@pytest.fixture(scope="module")
+def q1_grid():
+    db = twitter_database(nodes=300, edges=1200, seed=9)
+    return run_grid(Q1, db, workers=4), db
+
+
+class TestRunGrid:
+    def test_all_strategies_present(self, q1_grid):
+        grid, _ = q1_grid
+        assert set(grid.strategies()) == {s.name for s in ALL_STRATEGIES}
+
+    def test_consistent(self, q1_grid):
+        grid, _ = q1_grid
+        assert grid.consistent()
+
+    def test_best_strategy_is_a_member(self, q1_grid):
+        grid, _ = q1_grid
+        assert grid.best_strategy() in grid.strategies()
+
+    def test_shared_plan_and_order(self, q1_grid):
+        grid, _ = q1_grid
+        assert grid.plan is not None
+        assert len(grid.variable_order) == 3
+
+    def test_subset_of_strategies(self):
+        db = twitter_database(nodes=100, edges=400)
+        grid = run_grid(Q1, db, workers=2, strategies=[RS_HJ, HC_TJ])
+        assert set(grid.strategies()) == {"RS_HJ", "HC_TJ"}
+
+    def test_memory_budget_propagates(self):
+        db = twitter_database(nodes=300, edges=1200)
+        grid = run_grid(Q1, db, workers=2, strategies=[RS_TJ], memory_tuples=10)
+        assert grid["RS_TJ"].failed
+
+
+class TestFormatting:
+    def test_figure_rows_fields(self, q1_grid):
+        grid, _ = q1_grid
+        rows = figure_rows(grid)
+        assert len(rows) == 6
+        for row in rows:
+            assert {"strategy", "wall_clock", "total_cpu", "tuples_shuffled"} <= set(row)
+
+    def test_format_figure_contains_strategies(self, q1_grid):
+        grid, _ = q1_grid
+        text = format_figure(grid, "Q1 test")
+        for name in ("RS_HJ", "HC_TJ", "BR_TJ"):
+            assert name in text
+
+    def test_format_figure_marks_failures(self):
+        db = twitter_database(nodes=300, edges=1200)
+        grid = run_grid(Q1, db, workers=2, strategies=[RS_TJ], memory_tuples=10)
+        assert "FAIL" in format_figure(grid, "t")
+
+    def test_shuffle_rows_and_table(self, q1_grid):
+        grid, _ = q1_grid
+        result = grid["RS_HJ"]
+        rows = shuffle_rows(result)
+        assert rows and all("tuples_sent" in r for r in rows)
+        text = format_shuffle_table(result, "Table test")
+        assert "Total" in text
+
+
+class TestTable6:
+    def test_row_fields(self, q1_grid):
+        grid, db = q1_grid
+        row = table6_row("Q1", grid, db)
+        assert row["query"] == "Q1"
+        assert row["tables"] == 3
+        assert row["join_variables"] == 3
+        assert row["cyclic"] is True
+        assert row["input_size"] == 3 * len(db["Twitter"])
+        assert row["rs_shuffled"] > 0
+        assert row["hc_shuffled"] > 0
+        assert row["rs_over_hc_time"] > 0
+
+    def test_input_size_counts_self_join_copies(self, q1_grid):
+        _, db = q1_grid
+        assert input_size(Q1, db) == 3 * len(db["Twitter"])
+
+
+class TestRunWorkload:
+    def test_unit_scale_has_no_budget(self):
+        grid = run_workload("Q4", scale="unit", workers=3, strategies=[RS_TJ])
+        assert not grid["RS_TJ"].failed  # unit scale never enforces budgets
+
+    def test_enforce_memory_flag(self):
+        grid = run_workload(
+            "Q1", scale="unit", workers=3, strategies=[HC_TJ], enforce_memory=True
+        )
+        assert not grid["HC_TJ"].failed

@@ -1,0 +1,100 @@
+"""Tests for HyperCube tuple routing — including the join-correctness core:
+any two joinable tuples must meet on at least one common worker."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypercube.config import config_from_sizes
+from repro.hypercube.mapping import HyperCubeMapping
+from repro.query.parser import parse_query
+
+TRIANGLE = parse_query("T(x,y,z) :- R:E(x,y), S:E(y,z), T:E(z,x).")
+
+
+def triangle_mapping(sizes=(4, 4, 4), seed=0):
+    return HyperCubeMapping(config_from_sizes(TRIANGLE, sizes), seed=seed)
+
+
+class TestCoordinates:
+    def test_worker_coordinate_roundtrip(self):
+        mapping = triangle_mapping((2, 3, 4))
+        for worker in range(mapping.workers_used):
+            assert mapping.worker_of(mapping.coordinate_of(worker)) == worker
+
+    def test_hash_respects_dimension_size(self):
+        mapping = triangle_mapping((2, 3, 4))
+        for dim_index, dim in enumerate((2, 3, 4)):
+            for value in range(100):
+                assert 0 <= mapping.hash_value(dim_index, value) < dim
+
+    def test_trivial_dimension_hashes_to_zero(self):
+        mapping = triangle_mapping((1, 4, 4))
+        assert all(mapping.hash_value(0, v) == 0 for v in range(50))
+
+
+class TestDestinations:
+    def test_replication_along_missing_dimension(self):
+        mapping = triangle_mapping((4, 4, 4))
+        atom_r = TRIANGLE.atom_by_alias("R")  # R(x, y): free along z
+        destinations = list(mapping.destinations(atom_r, (7, 9)))
+        assert len(destinations) == 4
+        assert len(set(destinations)) == 4
+        assert mapping.replication_of(atom_r) == 4
+
+    def test_bound_coordinates_are_fixed(self):
+        mapping = triangle_mapping((4, 4, 4))
+        atom_r = TRIANGLE.atom_by_alias("R")
+        coords = [
+            mapping.coordinate_of(w) for w in mapping.destinations(atom_r, (7, 9))
+        ]
+        assert len({c[0] for c in coords}) == 1  # x coordinate fixed
+        assert len({c[1] for c in coords}) == 1  # y coordinate fixed
+        assert len({c[2] for c in coords}) == 4  # z coordinate free
+
+    def test_total_replication_matches_product(self):
+        mapping = triangle_mapping((2, 3, 4))
+        atom_s = TRIANGLE.atom_by_alias("S")  # S(y, z): free along x
+        assert mapping.replication_of(atom_s) == 2
+
+    @given(
+        st.integers(0, 10**6),
+        st.integers(0, 10**6),
+        st.integers(0, 10**6),
+        st.integers(0, 5),
+    )
+    @settings(max_examples=100)
+    def test_joinable_tuples_meet_exactly_once(self, x, y, z, seed):
+        """The HyperCube correctness theorem: for any binding (x, y, z) the
+        three tuples R(x,y), S(y,z), T(z,x) share exactly one worker."""
+        mapping = triangle_mapping((2, 3, 4), seed=seed)
+        r_dest = set(mapping.destinations(TRIANGLE.atom_by_alias("R"), (x, y)))
+        s_dest = set(mapping.destinations(TRIANGLE.atom_by_alias("S"), (y, z)))
+        t_dest = set(mapping.destinations(TRIANGLE.atom_by_alias("T"), (z, x)))
+        meet = r_dest & s_dest & t_dest
+        assert len(meet) == 1
+
+    def test_repeated_variable_uses_first_position(self):
+        query = parse_query("Q(x) :- R(x, x).")
+        mapping = HyperCubeMapping(config_from_sizes(query, ()))
+        # no join variables: single worker 0 receives everything
+        destinations = list(mapping.destinations(query.atom_by_alias("R"), (3, 3)))
+        assert destinations == [0]
+
+
+class TestDistribution:
+    def test_hashing_spreads_values(self):
+        mapping = triangle_mapping((4, 4, 4))
+        buckets = [mapping.hash_value(0, v) for v in range(1000)]
+        counts = [buckets.count(b) for b in range(4)]
+        assert min(counts) > 150  # roughly uniform
+
+    def test_different_seeds_give_different_hashes(self):
+        a = triangle_mapping(seed=1)
+        b = triangle_mapping(seed=2)
+        values = range(200)
+        assert [a.hash_value(0, v) for v in values] != [
+            b.hash_value(0, v) for v in values
+        ]

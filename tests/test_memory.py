@@ -1,0 +1,65 @@
+"""Tests for per-worker memory budgets and the simulated OOM."""
+
+import pytest
+
+from repro.engine.memory import MemoryBudget, OutOfMemoryError
+
+
+class TestBudget:
+    def test_unlimited_by_default(self):
+        budget = MemoryBudget()
+        budget.allocate(0, 10**9)
+        assert budget.resident(0) == 10**9
+
+    def test_exceeding_budget_raises(self):
+        budget = MemoryBudget(per_worker_tuples=100)
+        budget.allocate(0, 80, "phase-a")
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            budget.allocate(0, 30, "phase-b")
+        assert excinfo.value.worker == 0
+        assert excinfo.value.phase == "phase-b"
+        assert excinfo.value.resident == 110
+
+    def test_budgets_are_per_worker(self):
+        budget = MemoryBudget(per_worker_tuples=100)
+        budget.allocate(0, 90)
+        budget.allocate(1, 90)  # separate worker, no OOM
+
+    def test_release(self):
+        budget = MemoryBudget(per_worker_tuples=100)
+        budget.allocate(0, 90)
+        budget.release(0, 50)
+        budget.allocate(0, 50)
+        assert budget.resident(0) == 90
+
+    def test_release_never_goes_negative(self):
+        budget = MemoryBudget()
+        budget.release(0, 10)
+        assert budget.resident(0) == 0
+
+    def test_release_all(self):
+        budget = MemoryBudget()
+        budget.allocate(2, 40)
+        budget.release_all(2)
+        assert budget.resident(2) == 0
+
+    def test_peak_tracks_high_water(self):
+        budget = MemoryBudget()
+        budget.allocate(0, 70)
+        budget.release(0, 60)
+        budget.allocate(0, 20)
+        assert budget.peak(0) == 70
+        assert budget.resident(0) == 30
+
+    def test_reset(self):
+        budget = MemoryBudget(per_worker_tuples=10)
+        budget.allocate(0, 5)
+        budget.reset()
+        assert budget.resident(0) == 0
+        assert budget.peak(0) == 0
+        budget.allocate(0, 9)  # no OOM after reset
+
+    def test_error_message_is_informative(self):
+        budget = MemoryBudget(per_worker_tuples=10)
+        with pytest.raises(OutOfMemoryError, match="worker 3"):
+            budget.allocate(3, 11, "sort")

@@ -1,0 +1,93 @@
+"""Unit tests for the Datalog parser."""
+
+import pytest
+
+from repro.query.atoms import Constant, Variable
+from repro.query.parser import ParseError, parse_query
+
+
+def test_simple_rule():
+    query = parse_query("Q(x, y) :- R(x, y).")
+    assert query.name == "Q"
+    assert query.head == (Variable("x"), Variable("y"))
+    assert len(query.atoms) == 1
+    assert query.atoms[0].relation == "R"
+
+
+def test_trailing_dot_optional():
+    assert parse_query("Q(x) :- R(x, y)").name == "Q"
+
+
+def test_alias_prefix():
+    query = parse_query("T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x).")
+    assert [a.alias for a in query.atoms] == ["R", "S", "T"]
+    assert {a.relation for a in query.atoms} == {"Twitter"}
+
+
+def test_string_constant():
+    query = parse_query('Q(p) :- Name(a, "Joe Pesci"), Act(a, p).')
+    assert query.atoms[0].terms[1] == Constant("Joe Pesci")
+
+
+def test_integer_constants_including_negative():
+    query = parse_query("Q(x) :- R(x, 42), S(x, -7).")
+    assert query.atoms[0].terms[1] == Constant(42)
+    assert query.atoms[1].terms[1] == Constant(-7)
+
+
+def test_comparisons():
+    query = parse_query("Q(x, y) :- R(x, y), x < y, y >= 10.")
+    assert len(query.comparisons) == 2
+    assert query.comparisons[0].op == "<"
+    assert query.comparisons[1].right == Constant(10)
+
+
+def test_and_connective_between_filters():
+    query = parse_query("Q(y) :- R(h, y), y >= 1990 AND y < 2000.")
+    assert len(query.comparisons) == 2
+
+
+def test_paper_q7_shape():
+    query = parse_query(
+        'OscarWinners(a) :- ObjectName(aw, "The Academy Awards"), '
+        "HonorAward(h, aw), HonorActor(h, a), HonorYear(h, y), "
+        "y >= 1990 AND y < 2000."
+    )
+    assert len(query.atoms) == 4
+    assert len(query.comparisons) == 2
+    assert not query.is_full()
+
+
+def test_head_must_use_variables():
+    with pytest.raises(ParseError):
+        parse_query("Q(3) :- R(x, y).")
+
+
+def test_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_query("Q(x) :- R(x,,y).")
+    with pytest.raises(ParseError):
+        parse_query("Q(x) R(x, y).")
+    with pytest.raises(ParseError):
+        parse_query("Q(x) :- R(x y).")
+
+
+def test_unexpected_character():
+    with pytest.raises(ParseError):
+        parse_query("Q(x) :- R(x, y) & S(y).")
+
+
+def test_comparison_left_must_be_variable():
+    with pytest.raises(ParseError):
+        parse_query("Q(x) :- R(x, y), 3 < x.")
+
+
+def test_trailing_tokens_rejected():
+    with pytest.raises(ParseError):
+        parse_query("Q(x) :- R(x, y). extra")
+
+
+def test_roundtrip_repr_is_readable():
+    query = parse_query("Q(x) :- R:E(x, y), S:E(y, x), x < y.")
+    text = repr(query)
+    assert "R:E" in text and "x < y" in text

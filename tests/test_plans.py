@@ -1,0 +1,42 @@
+"""Tests for strategy descriptors."""
+
+import pytest
+
+from repro.planner.plans import (
+    ALL_STRATEGIES,
+    BR_TJ,
+    HC_TJ,
+    RS_HJ,
+    JoinKind,
+    ShuffleKind,
+    Strategy,
+)
+
+
+def test_names():
+    assert RS_HJ.name == "RS_HJ"
+    assert HC_TJ.name == "HC_TJ"
+    assert BR_TJ.name == "BR_TJ"
+
+
+def test_all_strategies_cover_grid():
+    assert len(ALL_STRATEGIES) == 6
+    combos = {(s.shuffle, s.join) for s in ALL_STRATEGIES}
+    assert combos == {
+        (shuffle, join) for shuffle in ShuffleKind for join in JoinKind
+    }
+
+
+def test_parse_roundtrip():
+    for strategy in ALL_STRATEGIES:
+        assert Strategy.parse(strategy.name) == strategy
+
+
+@pytest.mark.parametrize("bad", ["", "RS", "RS_XX", "XX_HJ", "rs_hj", "RS-HJ"])
+def test_parse_rejects_bad_names(bad):
+    with pytest.raises(ValueError):
+        Strategy.parse(bad)
+
+
+def test_repr_is_name():
+    assert repr(RS_HJ) == "RS_HJ"

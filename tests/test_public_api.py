@@ -1,0 +1,64 @@
+"""Meta-tests: the public API surface stays importable and documented."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.query",
+    "repro.storage",
+    "repro.hypercube",
+    "repro.leapfrog",
+    "repro.engine",
+    "repro.planner",
+    "repro.workloads",
+    "repro.experiments",
+]
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize("package_name", SUBPACKAGES)
+def test_subpackage_all_resolves(package_name):
+    package = importlib.import_module(package_name)
+    assert package.__doc__, f"{package_name} lacks a package docstring"
+    for name in getattr(package, "__all__", []):
+        assert hasattr(package, name), f"{package_name}.{name}"
+
+
+def _iter_modules():
+    for package_name in SUBPACKAGES:
+        package = importlib.import_module(package_name)
+        for info in pkgutil.iter_modules(package.__path__):
+            yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+def test_every_module_has_a_docstring():
+    for module in _iter_modules():
+        assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+def test_every_public_class_and_function_documented():
+    undocumented = []
+    for module in _iter_modules():
+        for name, item in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(item) or inspect.isfunction(item)):
+                continue
+            if getattr(item, "__module__", None) != module.__name__:
+                continue  # re-exports are documented at their home
+            if not (item.__doc__ and item.__doc__.strip()):
+                undocumented.append(f"{module.__name__}.{name}")
+    assert not undocumented, f"undocumented public items: {undocumented}"
+
+
+def test_version_defined():
+    assert repro.__version__

@@ -1,0 +1,109 @@
+"""Unit tests for relations and databases."""
+
+import pytest
+
+from repro.storage.relation import Database, Relation
+
+
+class TestRelation:
+    def test_basic_construction(self):
+        relation = Relation("R", ("a", "b"), [(1, 2), (3, 4)])
+        assert len(relation) == 2
+        assert relation.arity == 2
+        assert list(relation) == [(1, 2), (3, 4)]
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Relation("R", ("a", "b"), [(1, 2, 3)])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Relation("R", (), [])
+
+    def test_column_index(self):
+        relation = Relation("R", ("a", "b"))
+        assert relation.column_index("b") == 1
+        with pytest.raises(KeyError):
+            relation.column_index("missing")
+
+    def test_select(self):
+        relation = Relation("R", ("a", "b"), [(1, 2), (1, 3), (2, 2)])
+        selected = relation.select(0, 1)
+        assert selected.rows == [(1, 2), (1, 3)]
+
+    def test_filter(self):
+        relation = Relation("R", ("a", "b"), [(1, 2), (3, 1)])
+        assert relation.filter(lambda row: row[0] < row[1]).rows == [(1, 2)]
+
+    def test_project_keeps_duplicates_by_default(self):
+        relation = Relation("R", ("a", "b"), [(1, 2), (1, 3)])
+        assert relation.project([0]).rows == [(1,), (1,)]
+
+    def test_project_dedup(self):
+        relation = Relation("R", ("a", "b"), [(1, 2), (1, 3)])
+        assert relation.project([0], dedup=True).rows == [(1,)]
+
+    def test_project_reorders_columns(self):
+        relation = Relation("R", ("a", "b"), [(1, 2)])
+        projected = relation.project([1, 0])
+        assert projected.columns == ("b", "a")
+        assert projected.rows == [(2, 1)]
+
+    def test_distinct(self):
+        relation = Relation("R", ("a",), [(1,), (1,), (2,)])
+        assert relation.distinct().rows == [(1,), (2,)]
+
+    def test_renamed_shares_rows(self):
+        relation = Relation("R", ("a",), [(1,)])
+        renamed = relation.renamed("S")
+        assert renamed.name == "S"
+        assert renamed.rows is relation.rows
+
+
+class TestDatabase:
+    def test_add_and_get(self):
+        db = Database()
+        db.add_rows("R", ("a",), [(1,)])
+        assert len(db["R"]) == 1
+        assert "R" in db
+        assert "S" not in db
+
+    def test_unknown_relation_raises_helpfully(self):
+        db = Database()
+        db.add_rows("R", ("a",), [])
+        with pytest.raises(KeyError, match="known"):
+            db["S"]
+
+    def test_string_encoding_is_stable(self):
+        db = Database()
+        code1 = db.encode("Joe Pesci")
+        code2 = db.encode("Joe Pesci")
+        assert code1 == code2
+        assert db.decode(code1) == "Joe Pesci"
+
+    def test_distinct_strings_get_distinct_codes(self):
+        db = Database()
+        assert db.encode("a") != db.encode("b")
+
+    def test_integers_pass_through(self):
+        db = Database()
+        assert db.encode(17) == 17
+        assert db.decode(17) == 17
+
+    def test_encoded_codes_avoid_small_int_collisions(self):
+        db = Database()
+        assert db.encode("x") >= 1_000_000_000
+
+    def test_add_encoded(self):
+        db = Database()
+        db.add_encoded("Name", ("id", "name"), [(1, "joe"), (2, "bob")])
+        rows = db["Name"].rows
+        assert rows[0][0] == 1
+        assert db.decode(rows[0][1]) == "joe"
+
+    def test_total_rows_and_names(self):
+        db = Database()
+        db.add_rows("R", ("a",), [(1,), (2,)])
+        db.add_rows("S", ("a",), [(3,)])
+        assert db.total_rows() == 3
+        assert db.names() == ("R", "S")

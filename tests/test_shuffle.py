@@ -1,0 +1,202 @@
+"""Tests for the three shuffle algorithms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.frame import Frame
+from repro.engine.memory import MemoryBudget, OutOfMemoryError
+from repro.engine.shuffle import broadcast, hash_row, hypercube_shuffle, regular_shuffle
+from repro.engine.stats import ExecutionStats
+from repro.hypercube.config import config_from_sizes
+from repro.hypercube.mapping import HyperCubeMapping
+from repro.query.atoms import Variable
+from repro.query.parser import parse_query
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+TRIANGLE = parse_query("T(x,y,z) :- R:E(x,y), S:E(y,z), T:E(z,x).")
+
+
+def frames_of(rows, workers=3, variables=(X, Y)):
+    """Round-robin the rows into per-worker frames."""
+    per_worker = [[] for _ in range(workers)]
+    for index, row in enumerate(rows):
+        per_worker[index % workers].append(row)
+    return [Frame(tuple(variables), rows) for rows in per_worker]
+
+
+class TestHashRow:
+    def test_deterministic(self):
+        assert hash_row((1, 2)) == hash_row((1, 2))
+
+    def test_salt_changes_hash(self):
+        values = [(i, i + 1) for i in range(50)]
+        assert [hash_row(v) for v in values] != [hash_row(v, salt=99) for v in values]
+
+    def test_order_sensitive(self):
+        assert hash_row((1, 2)) != hash_row((2, 1))
+
+
+class TestRegularShuffle:
+    def test_conserves_tuples(self):
+        rows = [(i, i % 5) for i in range(100)]
+        stats = ExecutionStats()
+        out = regular_shuffle(frames_of(rows), [Y], 4, stats, "t", "p")
+        assert sorted(r for f in out for r in f.rows) == sorted(rows)
+
+    def test_co_partitions_equal_keys(self):
+        rows = [(i, i % 7) for i in range(100)]
+        stats = ExecutionStats()
+        out = regular_shuffle(frames_of(rows), [Y], 4, stats, "t", "p")
+        for worker, frame in enumerate(out):
+            for row in frame.rows:
+                # every row with the same key value lands on this worker
+                expected = regular_shuffle(
+                    [Frame((X, Y), [row])], [Y], 4, ExecutionStats(), "t", "p"
+                )
+                assert len(expected[worker].rows) == 1
+
+    def test_records_stats(self):
+        rows = [(i, 0) for i in range(20)]  # all same key -> max skew
+        stats = ExecutionStats()
+        regular_shuffle(frames_of(rows, workers=2), [Y], 4, stats, "skewed", "p")
+        record = stats.shuffles[0]
+        assert record.tuples_sent == 20
+        assert record.consumer_skew == pytest.approx(4.0)
+
+    def test_charges_producers_and_consumers(self):
+        rows = [(i, i) for i in range(10)]
+        stats = ExecutionStats()
+        regular_shuffle(frames_of(rows, workers=2), [Y], 2, stats, "t", "phase")
+        assert stats.phase_cpu("phase") == 20  # 10 sent + 10 received
+
+    def test_memory_accounting_and_oom(self):
+        rows = [(i, 0) for i in range(50)]
+        memory = MemoryBudget(per_worker_tuples=10)
+        with pytest.raises(OutOfMemoryError):
+            regular_shuffle(
+                frames_of(rows), [Y], 4, ExecutionStats(), "t", "p", memory=memory
+            )
+
+    def test_multi_column_key(self):
+        rows = [(i, i % 3) for i in range(30)]
+        stats = ExecutionStats()
+        out = regular_shuffle(frames_of(rows), [X, Y], 4, stats, "t", "p")
+        assert sum(len(f) for f in out) == 30
+
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 50)), max_size=60))
+    @settings(max_examples=40)
+    def test_partition_is_a_function_of_the_key(self, rows):
+        out = regular_shuffle(
+            frames_of(rows), [Y], 5, ExecutionStats(), "t", "p"
+        )
+        location = {}
+        for worker, frame in enumerate(out):
+            for row in frame.rows:
+                location.setdefault(row[1], set()).add(worker)
+        assert all(len(workers) == 1 for workers in location.values())
+
+
+class TestBroadcast:
+    def test_every_worker_gets_everything(self):
+        rows = [(i, i) for i in range(10)]
+        stats = ExecutionStats()
+        out = broadcast(frames_of(rows), 4, stats, "t", "p")
+        for frame in out:
+            assert sorted(frame.rows) == sorted(rows)
+
+    def test_tuples_sent_counts_replication(self):
+        rows = [(i, i) for i in range(10)]
+        stats = ExecutionStats()
+        broadcast(frames_of(rows), 8, stats, "t", "p")
+        assert stats.shuffles[0].tuples_sent == 80
+
+    def test_no_consumer_skew(self):
+        rows = [(i, 0) for i in range(30)]
+        stats = ExecutionStats()
+        broadcast(frames_of(rows), 4, stats, "t", "p")
+        assert stats.shuffles[0].consumer_skew == pytest.approx(1.0)
+
+
+class TestHypercubeShuffle:
+    def _shuffle(self, rows, sizes=(2, 2, 2), alias="R"):
+        config = config_from_sizes(TRIANGLE, sizes)
+        mapping = HyperCubeMapping(config)
+        atom = TRIANGLE.atom_by_alias(alias)
+        variables = atom.variables()
+        stats = ExecutionStats()
+        out = hypercube_shuffle(
+            frames_of(rows, variables=variables),
+            atom,
+            mapping,
+            mapping.workers_used,
+            stats,
+            "t",
+            "p",
+        )
+        return out, stats, mapping
+
+    def test_replication_factor(self):
+        rows = [(i, i + 1) for i in range(50)]
+        out, stats, mapping = self._shuffle(rows)
+        # R(x, y) misses the z dimension of size 2 -> 2 copies per tuple
+        assert stats.shuffles[0].tuples_sent == 100
+        assert sum(len(f) for f in out) == 100
+
+    def test_tuples_land_on_their_coordinates(self):
+        rows = [(3, 4)]
+        out, stats, mapping = self._shuffle(rows)
+        atom = TRIANGLE.atom_by_alias("R")
+        expected = set(mapping.destinations(atom, (3, 4)))
+        actual = {w for w, frame in enumerate(out) if frame.rows}
+        assert actual == expected
+
+    def test_triangle_results_complete_after_shuffle(self):
+        """Joining locally after the shuffle finds every triangle."""
+        edges = [(0, 1), (1, 2), (2, 0), (0, 2), (2, 1), (1, 0), (3, 0), (0, 3)]
+        config = config_from_sizes(TRIANGLE, (2, 2, 2))
+        mapping = HyperCubeMapping(config)
+        shuffled = {}
+        for alias in ("R", "S", "T"):
+            atom = TRIANGLE.atom_by_alias(alias)
+            stats = ExecutionStats()
+            shuffled[alias] = hypercube_shuffle(
+                frames_of(edges, variables=atom.variables()),
+                atom,
+                mapping,
+                8,
+                stats,
+                "t",
+                "p",
+            )
+        found = set()
+        for worker in range(8):
+            r = set(shuffled["R"][worker].rows)
+            s = set(shuffled["S"][worker].rows)
+            t = set(shuffled["T"][worker].rows)
+            for (x, y) in r:
+                for (y2, z) in s:
+                    if y2 == y and (z, x) in t:
+                        found.add((x, y, z))
+        edge_set = set(edges)
+        expected = {
+            (x, y, z)
+            for (x, y) in edge_set
+            for z in range(4)
+            if (y, z) in edge_set and (z, x) in edge_set
+        }
+        assert found == expected
+
+    def test_frame_variables_must_match_atom(self):
+        config = config_from_sizes(TRIANGLE, (2, 2, 2))
+        mapping = HyperCubeMapping(config)
+        with pytest.raises(ValueError):
+            hypercube_shuffle(
+                [Frame((X, Z), [])],
+                TRIANGLE.atom_by_alias("R"),
+                mapping,
+                8,
+                ExecutionStats(),
+                "t",
+                "p",
+            )

@@ -1,0 +1,102 @@
+"""Tests for execution statistics and the wall-clock model."""
+
+import pytest
+
+from repro.engine.stats import ExecutionStats, skew_factor
+
+
+class TestSkewFactor:
+    def test_balanced_loads(self):
+        assert skew_factor([10, 10, 10]) == pytest.approx(1.0)
+
+    def test_skewed_loads(self):
+        assert skew_factor([30, 10, 20]) == pytest.approx(1.5)
+
+    def test_empty_and_zero(self):
+        assert skew_factor([]) == 1.0
+        assert skew_factor([0, 0]) == 1.0
+
+    def test_single_hot_worker(self):
+        assert skew_factor([100, 0, 0, 0]) == pytest.approx(4.0)
+
+
+class TestCharging:
+    def test_total_cpu_sums_everything(self):
+        stats = ExecutionStats(workers=2)
+        stats.charge(0, 10, "a")
+        stats.charge(1, 20, "a")
+        stats.charge(0, 5, "b")
+        assert stats.total_cpu == 35
+
+    def test_wall_clock_is_sum_of_phase_maxima(self):
+        stats = ExecutionStats(workers=2)
+        stats.charge(0, 10, "shuffle")
+        stats.charge(1, 30, "shuffle")
+        stats.charge(0, 50, "join")
+        stats.charge(1, 5, "join")
+        assert stats.wall_clock == 30 + 50
+
+    def test_phase_accessors(self):
+        stats = ExecutionStats(workers=2)
+        stats.charge(0, 10, "a")
+        stats.charge(1, 4, "a")
+        assert stats.phase_wall("a") == 10
+        assert stats.phase_cpu("a") == 14
+        assert stats.phase_wall("missing") == 0
+        assert stats.phases() == ("a",)
+
+    def test_worker_loads_across_phases(self):
+        stats = ExecutionStats(workers=2)
+        stats.charge(0, 10, "a")
+        stats.charge(0, 5, "b")
+        assert stats.worker_loads() == {0: 15}
+        assert stats.worker_loads("b") == {0: 5}
+
+    def test_cpu_skew_counts_idle_workers(self):
+        stats = ExecutionStats(workers=4)
+        stats.charge(0, 100, "a")
+        assert stats.cpu_skew == pytest.approx(4.0)
+
+
+class TestShuffleRecords:
+    def test_record_computes_skews(self):
+        stats = ExecutionStats()
+        record = stats.record_shuffle("test", [10, 10], [15, 5])
+        assert record.tuples_sent == 20
+        assert record.producer_skew == pytest.approx(1.0)
+        assert record.consumer_skew == pytest.approx(1.5)
+
+    def test_tuples_shuffled_accumulates(self):
+        stats = ExecutionStats()
+        stats.record_shuffle("a", [10], [10])
+        stats.record_shuffle("b", [5], [5])
+        assert stats.tuples_shuffled == 15
+
+    def test_max_consumer_skew(self):
+        stats = ExecutionStats()
+        stats.record_shuffle("a", [10], [10, 0])
+        stats.record_shuffle("b", [9], [3, 3, 3])
+        assert stats.max_consumer_skew == pytest.approx(2.0)
+
+    def test_max_consumer_skew_defaults_to_one(self):
+        assert ExecutionStats().max_consumer_skew == 1.0
+
+
+class TestFailureAndMemory:
+    def test_mark_failed(self):
+        stats = ExecutionStats()
+        stats.mark_failed("out of memory")
+        assert stats.failed
+        assert "memory" in stats.failure
+
+    def test_memory_high_water(self):
+        stats = ExecutionStats()
+        stats.record_memory(0, 100)
+        stats.record_memory(0, 50)
+        stats.record_memory(0, 120)
+        assert stats.peak_memory[0] == 120
+
+    def test_summary_mentions_failure(self):
+        stats = ExecutionStats(query="Q1", strategy="RS_TJ")
+        stats.mark_failed("boom")
+        assert "FAIL" in stats.summary()

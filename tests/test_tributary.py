@@ -1,0 +1,225 @@
+"""Tests for the Tributary (leapfrog) join, incl. property tests vs brute force."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.leapfrog.tributary import TributaryJoin, tributary_join
+from repro.query.atoms import Variable
+from repro.query.parser import parse_query
+from repro.storage.relation import Database, Relation
+
+TRIANGLE = parse_query("Q(x,y,z) :- R:E(x,y), S:E(y,z), T:E(z,x).")
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=50
+)
+
+
+def brute_force_triangles(edges):
+    edge_set = set(edges)
+    nodes = {v for e in edges for v in e}
+    return {
+        (x, y, z)
+        for x in nodes
+        for y in nodes
+        for z in nodes
+        if (x, y) in edge_set and (y, z) in edge_set and (z, x) in edge_set
+    }
+
+
+def edges_relation(edges, name="E"):
+    return Relation(name, ("a", "b"), list(dict.fromkeys(edges)))
+
+
+class TestTriangle:
+    def test_small_example_from_paper_figure2_style(self):
+        rows = [(0, 1), (2, 0), (2, 3), (2, 5), (3, 4), (4, 2), (5, 6)]
+        relation = edges_relation(rows)
+        result = tributary_join(
+            TRIANGLE, {"R": relation, "S": relation, "T": relation}
+        )
+        assert set(result) == brute_force_triangles(rows)
+
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, edges):
+        relation = edges_relation(edges)
+        result = tributary_join(
+            TRIANGLE, {"R": relation, "S": relation, "T": relation}
+        )
+        assert set(result) == brute_force_triangles(edges)
+        assert len(result) == len(set(result))
+
+    @given(edge_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_any_variable_order_gives_same_result(self, edges):
+        relation = edges_relation(edges)
+        relations = {"R": relation, "S": relation, "T": relation}
+        x, y, z = Variable("x"), Variable("y"), Variable("z")
+        expected = None
+        for order in itertools.permutations((x, y, z)):
+            got = set(
+                TributaryJoin(TRIANGLE, relations, order=order).run()
+            )
+            # results are emitted in head order regardless of join order
+            if expected is None:
+                expected = got
+            assert got == expected
+
+
+class TestTwoWay:
+    @given(edge_lists, edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_binary_join_is_merge_join(self, left, right):
+        query = parse_query("Q(x,y,z) :- R(x,y), S(y,z).")
+        result = tributary_join(
+            query, {"R": edges_relation(left, "R"), "S": edges_relation(right, "S")}
+        )
+        left_set, right_set = set(left), set(right)
+        expected = {
+            (x, y, z) for (x, y) in left_set for (y2, z) in right_set if y == y2
+        }
+        assert set(result) == expected
+
+
+class TestFeatures:
+    def test_constant_selection(self):
+        query = parse_query("Q(y) :- R(3, y).")
+        relation = Relation("R", ("a", "b"), [(3, 1), (3, 2), (4, 9)])
+        assert set(tributary_join(query, {"R": relation})) == {(1,), (2,)}
+
+    def test_string_constant_requires_encoder(self):
+        query = parse_query('Q(y) :- R(x, "joe"), S(x, y).')
+        relation = Relation("R", ("a", "b"), [(1, 2)])
+        with pytest.raises(TypeError, match="encoder"):
+            tributary_join(query, {"R": relation, "S": relation})
+
+    def test_string_constant_with_database_encoder(self):
+        db = Database()
+        db.add_encoded("Name", ("id", "name"), [(1, "joe"), (2, "bob")])
+        db.add_rows("Act", ("id", "film"), [(1, 7), (2, 8)])
+        query = parse_query('Q(f) :- Name(x, "joe"), Act(x, f).')
+        result = tributary_join(
+            query,
+            {"Name": db["Name"], "Act": db["Act"]},
+            encoder=db.encode,
+        )
+        assert set(result) == {(7,)}
+
+    def test_comparison_between_variables(self):
+        query = parse_query("Q(x,y,z) :- R(x,y), S(y,z), x < z.")
+        relation = Relation("R", ("a", "b"), [(1, 2), (2, 3), (3, 1)])
+        result = tributary_join(query, {"R": relation, "S": relation})
+        expected = {
+            (x, y, z)
+            for (x, y) in relation.rows
+            for (y2, z) in relation.rows
+            if y == y2 and x < z
+        }
+        assert set(result) == expected
+
+    def test_comparison_with_constant(self):
+        query = parse_query("Q(x,y) :- R(x,y), y >= 2.")
+        relation = Relation("R", ("a", "b"), [(1, 1), (1, 2), (1, 5)])
+        assert set(tributary_join(query, {"R": relation})) == {(1, 2), (1, 5)}
+
+    def test_projection_deduplicates(self):
+        query = parse_query("Q(x) :- R(x,y).")
+        relation = Relation("R", ("a", "b"), [(1, 1), (1, 2), (2, 1)])
+        result = tributary_join(query, {"R": relation})
+        assert sorted(result) == [(1,), (2,)]
+
+    def test_repeated_variable_in_atom(self):
+        query = parse_query("Q(x) :- R(x,x).")
+        relation = Relation("R", ("a", "b"), [(1, 1), (1, 2), (3, 3)])
+        assert set(tributary_join(query, {"R": relation})) == {(1,), (3,)}
+
+    def test_empty_input_short_circuits(self):
+        relation = Relation("E", ("a", "b"), [])
+        result = tributary_join(
+            TRIANGLE, {"R": relation, "S": relation, "T": relation}
+        )
+        assert result == []
+
+    def test_head_order_respected(self):
+        query = parse_query("Q(z,x) :- R(x,y), S(y,z).")
+        relation = Relation("R", ("a", "b"), [(1, 2), (2, 3)])
+        result = tributary_join(query, {"R": relation, "S": relation})
+        assert set(result) == {(3, 1)}
+
+    def test_order_must_cover_all_variables(self):
+        relation = edges_relation([(1, 2)])
+        with pytest.raises(ValueError):
+            TributaryJoin(
+                TRIANGLE,
+                {"R": relation, "S": relation, "T": relation},
+                order=(Variable("x"), Variable("y")),
+            )
+
+    def test_stats_populated(self):
+        rows = [(0, 1), (1, 2), (2, 0), (0, 2)]
+        relation = edges_relation(rows)
+        join = TributaryJoin(TRIANGLE, {"R": relation, "S": relation, "T": relation})
+        results = join.run()
+        assert join.stats.sort_cost > 0
+        assert join.stats.sorted_tuples == 3 * len(rows)
+        assert join.total_seeks() > 0
+        assert join.stats.results == len(results)
+
+
+class TestFourClique:
+    def test_matches_brute_force_on_dense_graph(self):
+        # complete directed graph on 5 nodes: every ordered 4-tuple of
+        # distinct nodes forms the paper's Q2 pattern
+        nodes = range(5)
+        edges = [(i, j) for i in nodes for j in nodes if i != j]
+        relation = edges_relation(edges)
+        query = parse_query(
+            "Q(x,y,z,p) :- R:E(x,y), S:E(y,z), T:E(z,p), P:E(p,x), "
+            "K:E(x,z), L:E(y,p)."
+        )
+        result = tributary_join(
+            query, {alias: relation for alias in "R S T P K L".split()}
+        )
+        expected = {
+            (x, y, z, p)
+            for x in nodes for y in nodes for z in nodes for p in nodes
+            if len({x, y, z, p}) == 4
+        }
+        assert set(result) == expected
+
+
+class TestSeekBudget:
+    def test_budget_fires_on_expensive_join(self):
+        from repro.leapfrog.tributary import SeekBudgetExceeded
+        from repro.storage.generators import random_relation
+
+        relation = random_relation("R", 2, 400, 40, seed=1)
+        join = TributaryJoin(
+            TRIANGLE,
+            {"R": relation, "S": relation, "T": relation},
+            max_seeks=200,
+        )
+        with pytest.raises(SeekBudgetExceeded) as excinfo:
+            join.run()
+        assert excinfo.value.budget == 200
+        assert excinfo.value.seeks > 200
+
+    def test_generous_budget_does_not_fire(self):
+        relation = edges_relation([(0, 1), (1, 2), (2, 0)])
+        join = TributaryJoin(
+            TRIANGLE,
+            {"R": relation, "S": relation, "T": relation},
+            max_seeks=10**9,
+        )
+        assert set(join.run()) == {(0, 1, 2), (1, 2, 0), (2, 0, 1)}
+
+    def test_no_budget_by_default(self):
+        relation = edges_relation([(0, 1)])
+        join = TributaryJoin(
+            TRIANGLE, {"R": relation, "S": relation, "T": relation}
+        )
+        assert join.max_seeks is None

@@ -1,0 +1,139 @@
+"""Tests for the Sec. 5 variable-order cost model."""
+
+import pytest
+
+from repro.leapfrog.tributary import TributaryJoin
+from repro.leapfrog.variable_order import (
+    best_join_order,
+    enumerate_join_orders,
+    estimate_order_cost,
+    full_variable_order,
+)
+from repro.query.atoms import Variable
+from repro.query.catalog import Catalog
+from repro.query.parser import parse_query
+from repro.storage.generators import twitter_graph
+from repro.storage.relation import Database, Relation
+
+X, Y, Z, U = Variable("x"), Variable("y"), Variable("z"), Variable("u")
+
+
+def chain_database(a_fanout=1, b_fanout=50):
+    """R(x, y): few x many y; S(y, z): each y to b_fanout z values."""
+    db = Database()
+    db.add_rows("R", ("a", "b"), [(i, j) for i in range(3) for j in range(10)])
+    db.add_rows(
+        "S", ("a", "b"), [(j, 100 + j * b_fanout + k) for j in range(10) for k in range(b_fanout)]
+    )
+    return db
+
+
+class TestCostModel:
+    def test_first_step_is_min_active_domain(self):
+        query = parse_query("Q(x,y,z) :- R(x,y), S(y,z).")
+        db = chain_database()
+        catalog = Catalog(db)
+        cost = estimate_order_cost(query, catalog, (Y,))
+        # y has 10 distinct values in both R and S
+        assert cost.step_sizes[0] == 10
+
+    def test_residual_ratio_estimate(self):
+        query = parse_query("Q(x,y,z) :- R(x,y), S(y,z).")
+        db = chain_database(b_fanout=50)
+        catalog = Catalog(db)
+        # after fixing y, S contributes V(S,(y,z))/V(S,(y)) = 500/10 = 50
+        # and R contributes V(R,(y,x))/V(R,(y)) = 30/10 = 3 on variable x
+        cost_yx = estimate_order_cost(query, catalog, (Y, X))
+        assert cost_yx.step_sizes == (10.0, 3.0)
+
+    def test_cost_is_sum_of_prefix_products(self):
+        query = parse_query("Q(x,y,z) :- R(x,y), S(y,z).")
+        catalog = Catalog(chain_database())
+        cost = estimate_order_cost(query, catalog, (Y, X))
+        s1, s2 = cost.step_sizes
+        assert cost.cost == pytest.approx(s1 + s1 * s2)
+
+    def test_orders_with_lower_cost_do_fewer_seeks(self):
+        # a skewed graph where starting from the high-fanout side is bad
+        graph = twitter_graph(nodes=400, edges=1500, seed=2)
+        db = Database()
+        db.add(graph)
+        catalog = Catalog(db)
+        query = parse_query(
+            "Q(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)."
+        )
+        costs = {}
+        seeks = {}
+        for order in enumerate_join_orders(query):
+            estimate = estimate_order_cost(query, catalog, order)
+            join = TributaryJoin(
+                query,
+                {a.alias: graph for a in query.atoms},
+                order=full_variable_order(query, order),
+            )
+            join.run()
+            costs[order] = estimate.cost
+            seeks[order] = join.total_seeks()
+        best_by_model = min(costs, key=lambda o: costs[o])
+        worst_by_model = max(costs, key=lambda o: costs[o])
+        # the model must rank the extremes consistently with reality
+        assert seeks[best_by_model] <= seeks[worst_by_model]
+
+
+class TestEnumeration:
+    def test_exhaustive_enumeration_counts(self):
+        query = parse_query("Q(x,y,z) :- R(x,y), S(y,z), T(z,x).")
+        orders = list(enumerate_join_orders(query))
+        assert len(orders) == 6
+        assert len(set(orders)) == 6
+
+    def test_limit_truncates(self):
+        query = parse_query("Q(x,y,z) :- R(x,y), S(y,z), T(z,x).")
+        assert len(list(enumerate_join_orders(query, limit=2))) == 2
+
+    def test_sampling_is_deterministic_and_distinct(self):
+        query = parse_query(
+            "Q(a,b,c,d) :- R(a,b), S(b,c), T(c,d), U(d,a)."
+        )
+        sample1 = list(enumerate_join_orders(query, sample=5, seed=9))
+        sample2 = list(enumerate_join_orders(query, sample=5, seed=9))
+        assert sample1 == sample2
+        assert len(set(sample1)) == 5
+
+
+class TestBestOrder:
+    def test_best_order_minimizes_model_cost(self):
+        query = parse_query("Q(x,y,z) :- R(x,y), S(y,z).")
+        catalog = Catalog(chain_database())
+        best = best_join_order(query, catalog)
+        for order in enumerate_join_orders(query):
+            assert best.cost <= estimate_order_cost(query, catalog, order).cost
+
+    def test_query_without_join_variables(self):
+        query = parse_query("Q(x) :- R(x,y).")
+        catalog = Catalog(chain_database())
+        best = best_join_order(query, catalog)
+        assert best.order == ()
+        assert best.cost == 0.0
+
+    def test_sampling_kicks_in_for_many_variables(self):
+        query = parse_query(
+            "Q(a,b,c,d,e) :- R1(a,b), R2(b,c), R3(c,d), R4(d,e), R5(e,a)."
+        )
+        db = Database()
+        for atom in query.atoms:
+            db.add_rows(atom.relation, ("u", "v"), [(1, 2), (2, 3)])
+        best = best_join_order(query, Catalog(db), limit=10)
+        assert len(best.order) == 5  # all five join variables ordered
+
+
+class TestFullOrder:
+    def test_appends_non_join_variables(self):
+        query = parse_query("Q(x) :- R(x,y), S(y,u).")
+        order = full_variable_order(query, (Y,))
+        assert order[0] == Y
+        assert set(order) == {X, Y, U}
+
+    def test_idempotent_when_complete(self):
+        query = parse_query("Q(x,y) :- R(x,y), S(y,x).")
+        assert full_variable_order(query, (X, Y)) == (X, Y)

@@ -1,0 +1,110 @@
+"""Tests for the paper's eight workload queries and the registry."""
+
+import pytest
+
+from repro.query.hypergraph import Hypergraph
+from repro.workloads import (
+    PAPER_ORDER,
+    WORKLOADS,
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+    Q5,
+    Q6,
+    Q7,
+    Q8,
+    get_workload,
+)
+
+#: Table 6 ground truth: (tables, join variables, cyclic).
+#: Note on Q3: the paper reports 7 join variables, which counts the
+#: projected output variable `cast`; only 6 variables occur in two or more
+#: atoms (a1, p1, film, a2, p2, p), and that is the structural count our
+#: ``join_variables()`` returns.
+TABLE6 = {
+    "Q1": (3, 3, True),
+    "Q7": (4, 2, False),
+    "Q5": (4, 4, True),
+    "Q6": (5, 4, True),
+    "Q2": (6, 4, True),
+    "Q8": (6, 6, True),
+    "Q3": (8, 6, False),
+    "Q4": (8, 8, True),
+}
+
+
+class TestQueryShapes:
+    @pytest.mark.parametrize("name", list(TABLE6))
+    def test_table6_columns(self, name):
+        tables, join_vars, cyclic = TABLE6[name]
+        query = WORKLOADS[name].query
+        assert len(query.atoms) == tables, f"{name}: #tables"
+        assert len(query.join_variables()) == join_vars, f"{name}: #join vars"
+        assert Hypergraph(query).is_cyclic() == cyclic, f"{name}: cyclicity"
+
+    def test_q1_is_triangle(self):
+        assert Q1.is_full()
+        assert {a.relation for a in Q1.atoms} == {"Twitter"}
+
+    def test_q2_extends_q1(self):
+        q1_aliases = {frozenset(v.name for v in a.variables()) for a in Q1.atoms}
+        q2_aliases = {frozenset(v.name for v in a.variables()) for a in Q2.atoms}
+        assert q1_aliases <= q2_aliases or len(Q2.atoms) == 6
+
+    def test_q4_has_film_inequality(self):
+        assert len(Q4.comparisons) == 1
+        assert Q4.comparisons[0].op == ">"
+
+    def test_q7_year_range(self):
+        assert len(Q7.comparisons) == 2
+        ops = {c.op for c in Q7.comparisons}
+        assert ops == {">=", "<"}
+
+    def test_q3_q7_project(self):
+        assert not Q3.is_full()
+        assert not Q7.is_full()
+
+    def test_q6_is_q5_plus_chord(self):
+        q5_edges = {tuple(v.name for v in a.variables()) for a in Q5.atoms}
+        q6_edges = {tuple(v.name for v in a.variables()) for a in Q6.atoms}
+        assert q5_edges <= q6_edges
+        assert len(q6_edges - q5_edges) == 1
+
+
+class TestRegistry:
+    def test_all_eight_registered(self):
+        assert set(WORKLOADS) == {f"Q{i}" for i in range(1, 9)}
+        assert set(PAPER_ORDER) == set(WORKLOADS)
+
+    def test_get_workload(self):
+        assert get_workload("Q1").name == "Q1"
+        with pytest.raises(KeyError):
+            get_workload("Q99")
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_unit_datasets_provide_required_relations(self, name):
+        workload = get_workload(name)
+        db = workload.dataset("unit")
+        for relation in workload.query.relations():
+            assert relation in db
+            assert len(db[relation]) > 0
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_workload("Q1").dataset("huge")
+
+    def test_cyclic_flags_match_hypergraph(self):
+        for workload in WORKLOADS.values():
+            assert workload.cyclic == Hypergraph(workload.query).is_cyclic()
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_unit_queries_have_nonempty_results(self, name):
+        """Every workload must exercise a non-trivial answer at unit scale."""
+        from repro.experiments import run_workload
+        from repro.planner.plans import HC_TJ
+
+        grid = run_workload(name, scale="unit", workers=4, strategies=[HC_TJ])
+        result = grid["HC_TJ"]
+        assert not result.failed
+        assert len(result.rows) > 0, f"{name} returns empty at unit scale"
