@@ -12,7 +12,6 @@ shuffle one atom of a symmetric 2-variable self-join under the 2x2 and the
 consumer skew.
 """
 
-from conftest import run_grid_benchmark
 
 from repro.engine.frame import Frame
 from repro.engine.shuffle import hypercube_shuffle

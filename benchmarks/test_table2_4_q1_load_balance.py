@@ -14,7 +14,7 @@ intermediate producer skew far above base-relation skew; replication
 factors match the chosen cube; broadcast is perfectly balanced.
 """
 
-from conftest import WORKERS, grid_for, run_grid_benchmark
+from conftest import WORKERS, run_grid_benchmark
 
 from repro.experiments import format_shuffle_table
 

@@ -16,7 +16,7 @@ report the full rows for inspection (see EXPERIMENTS.md for the
 paper-vs-measured discussion).
 """
 
-from conftest import grid_for, run_grid_benchmark, SCALE
+from conftest import SCALE, grid_for
 
 from repro.experiments.harness import table6_row
 from repro.workloads import PAPER_ORDER, get_workload

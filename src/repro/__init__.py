@@ -25,7 +25,15 @@ Quickstart::
           result.stats.tuples_shuffled, "tuples shuffled")
 """
 
-from .engine import Cluster, ExecutionStats, MemoryBudget, OutOfMemoryError
+from .engine import (
+    Cluster,
+    ExecutionStats,
+    MemoryBudget,
+    OutOfMemoryError,
+    ParallelRuntime,
+    SerialRuntime,
+    resolve_runtime,
+)
 from .hypercube import (
     HyperCubeConfig,
     HyperCubeMapping,
@@ -69,7 +77,9 @@ __all__ = [
     "HyperCubeMapping",
     "MemoryBudget",
     "OutOfMemoryError",
+    "ParallelRuntime",
     "Relation",
+    "SerialRuntime",
     "SortedRelation",
     "Strategy",
     "TributaryJoin",
@@ -84,6 +94,7 @@ __all__ = [
     "make_cluster",
     "optimize_config",
     "parse_query",
+    "resolve_runtime",
     "round_down_config",
     "run_all_strategies",
     "run_query",

@@ -45,7 +45,11 @@ def _dataset(name: str):
 def _cmd_run(args: argparse.Namespace) -> int:
     database = _dataset(args.dataset)
     result = run_query(
-        args.query, database, strategy=args.strategy, workers=args.workers
+        args.query,
+        database,
+        strategy=args.strategy,
+        workers=args.workers,
+        runtime=args.runtime,
     )
     stats = result.stats
     if result.failed:
@@ -69,6 +73,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         scale=args.scale,
         workers=args.workers,
         enforce_memory=not args.no_memory_budget,
+        runtime=args.runtime,
     )
     print(format_figure(grid, f"{args.workload} ({args.scale}, p={args.workers})"))
     print(f"consistent: {grid.consistent()}  best: {grid.best_strategy()}")
@@ -116,6 +121,8 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("twitter", "freebase"))
     run_cmd.add_argument("--strategy", default="HC_TJ")
     run_cmd.add_argument("--workers", type=int, default=16)
+    run_cmd.add_argument("--runtime", default="serial",
+                         help="worker runtime: 'serial' or 'parallel[:N]'")
     run_cmd.add_argument("--show-rows", type=int, default=0,
                          help="print the first N result rows")
     run_cmd.set_defaults(func=_cmd_run)
@@ -124,6 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
     grid_cmd.add_argument("workload", choices=sorted(WORKLOADS))
     grid_cmd.add_argument("--workers", type=int, default=64)
     grid_cmd.add_argument("--scale", default="bench", choices=("unit", "bench"))
+    grid_cmd.add_argument("--runtime", default="serial",
+                          help="worker runtime: 'serial' or 'parallel[:N]'")
     grid_cmd.add_argument("--no-memory-budget", action="store_true")
     grid_cmd.set_defaults(func=_cmd_grid)
 

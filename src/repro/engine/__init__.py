@@ -4,9 +4,16 @@ from .cluster import Cluster
 from .frame import Frame, atom_frame, frame_relation
 from .hash_join import apply_comparisons, join_output_variables, symmetric_hash_join
 from .local import dedup_rows, local_tributary_join, scanned_query
-from .memory import MemoryBudget, OutOfMemoryError
+from .memory import MemoryBudget, OutOfMemoryError, WorkerMemoryAccount
+from .runtime import (
+    ParallelRuntime,
+    SerialRuntime,
+    WorkerLedger,
+    WorkerRuntime,
+    resolve_runtime,
+)
 from .shuffle import broadcast, hash_row, hypercube_shuffle, regular_shuffle
-from .stats import ExecutionStats, ShuffleRecord, skew_factor
+from .stats import ExecutionStats, ShuffleRecord, WorkerStats, skew_factor
 
 __all__ = [
     "Cluster",
@@ -14,7 +21,13 @@ __all__ = [
     "Frame",
     "MemoryBudget",
     "OutOfMemoryError",
+    "ParallelRuntime",
+    "SerialRuntime",
     "ShuffleRecord",
+    "WorkerLedger",
+    "WorkerMemoryAccount",
+    "WorkerRuntime",
+    "WorkerStats",
     "apply_comparisons",
     "atom_frame",
     "broadcast",
@@ -25,6 +38,8 @@ __all__ = [
     "join_output_variables",
     "local_tributary_join",
     "regular_shuffle",
+    "resolve_runtime",
     "scanned_query",
     "skew_factor",
+    "symmetric_hash_join",
 ]

@@ -11,9 +11,10 @@ and memory through :class:`~repro.engine.stats.ExecutionStats` and
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..storage.relation import Database, Relation
+from .frame import Frame
 from .memory import MemoryBudget
 
 
@@ -60,6 +61,18 @@ class Cluster:
         if self.database is None:
             raise RuntimeError("cluster has no loaded database")
         return self.database.encode
+
+    def release_frames(self, frames: Sequence[Frame]) -> None:
+        """Release per-worker frames from the memory budget.
+
+        Used when a distributed data structure is consumed or superseded —
+        scanned fragments streamed out by a shuffle, an intermediate
+        replaced by its re-partitioned copy — so residency tracks the peak
+        working set instead of growing monotonically.
+        """
+        for worker, frame in enumerate(frames):
+            if len(frame):
+                self.memory.release(worker, len(frame))
 
     def __repr__(self) -> str:
         return f"Cluster(workers={self.workers}, relations={sorted(self._fragments)})"

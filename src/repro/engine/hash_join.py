@@ -16,8 +16,8 @@ from typing import Optional, Sequence
 
 from ..query.atoms import Comparison, Variable
 from .frame import Frame
-from .memory import MemoryBudget
-from .stats import ExecutionStats
+from .memory import MemorySink
+from .stats import StatsSink
 
 
 def join_output_variables(
@@ -33,9 +33,9 @@ def symmetric_hash_join(
     right: Frame,
     join_vars: Sequence[Variable],
     worker: int,
-    stats: ExecutionStats,
+    stats: StatsSink,
     phase: str,
-    memory: Optional[MemoryBudget] = None,
+    memory: Optional[MemorySink] = None,
 ) -> Frame:
     """Join two frames on ``join_vars`` (cross product when empty)."""
     output_variables = join_output_variables(left.variables, right.variables)
@@ -76,7 +76,7 @@ def apply_comparisons(
     frame: Frame,
     comparisons: Sequence[Comparison],
     worker: int,
-    stats: ExecutionStats,
+    stats: StatsSink,
     phase: str,
 ) -> tuple[Frame, list[Comparison]]:
     """Apply every comparison whose variables are all present in the frame.

@@ -15,8 +15,8 @@ from typing import Mapping, Optional, Sequence
 from ..leapfrog.tributary import TributaryJoin
 from ..query.atoms import Atom, ConjunctiveQuery, Variable
 from .frame import Frame, frame_relation
-from .memory import MemoryBudget
-from .stats import ExecutionStats
+from .memory import MemorySink
+from .stats import StatsSink
 
 #: Cost of one sort comparison relative to one hash-join work unit (a hash
 #: table insert/probe).  A merge-sort comparison of two int tuples is far
@@ -51,11 +51,11 @@ def local_tributary_join(
     query: ConjunctiveQuery,
     frames: Mapping[str, Frame],
     worker: int,
-    stats: ExecutionStats,
+    stats: StatsSink,
     order: Optional[Sequence[Variable]] = None,
     sort_phase: str = "sort",
     join_phase: str = "tributary join",
-    memory: Optional[MemoryBudget] = None,
+    memory: Optional[MemorySink] = None,
 ) -> list[tuple[int, ...]]:
     """Run one worker's Tributary join over its local frames.
 
@@ -67,12 +67,11 @@ def local_tributary_join(
     relations = {
         alias: frame_relation(frame, alias) for alias, frame in frames.items()
     }
+    sorted_copies = sum(len(f) for f in frames.values())
     if memory is not None:
         # sorting materializes a reordered copy of every input fragment;
         # charge it *before* doing the work so a simulated OOM fires first
-        memory.allocate(
-            worker, sum(len(f) for f in frames.values()), sort_phase
-        )
+        memory.allocate(worker, sorted_copies, sort_phase)
         stats.record_memory(worker, memory.resident(worker))
     join = TributaryJoin(query, relations, order=order)
     results = join.run()
@@ -81,6 +80,8 @@ def local_tributary_join(
     if memory is not None:
         memory.allocate(worker, len(results), join_phase)
         stats.record_memory(worker, memory.resident(worker))
+        # the sorted copies are scratch space, dropped once the join is done
+        memory.release(worker, sorted_copies)
     return results
 
 

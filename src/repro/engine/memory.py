@@ -3,15 +3,25 @@
 The paper's engines are in-memory; when a plan materializes an intermediate
 result that exceeds worker memory, the query fails (Fig. 9: RS_TJ on Q4
 "fails because it runs out of memory").  The simulator models worker memory
-as a tuple budget: operators register the tuples they hold resident and
-exceeding the budget raises :class:`OutOfMemoryError`, which the executor
-reports as a FAIL outcome rather than crashing the benchmark run.
+as a tuple budget: operators register the tuples they hold resident,
+*release* them once an input is consumed or an intermediate is superseded
+(so residency tracks the peak working set, not a monotonically growing
+cumulative sum), and exceeding the budget raises :class:`OutOfMemoryError`,
+which the executor reports as a FAIL outcome rather than crashing the
+benchmark run.
+
+Local-join phases run through a worker runtime
+(:mod:`~repro.engine.runtime`), which hands each worker task an isolated
+:class:`WorkerMemoryAccount` — a delta ledger opened against the budget's
+current residency for that worker — and commits the accounts back in
+worker-id order.  This keeps the accounting identical whether the workers
+execute serially or concurrently.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 
 class OutOfMemoryError(RuntimeError):
@@ -63,3 +73,78 @@ class MemoryBudget:
     def reset(self) -> None:
         self._resident.clear()
         self._peak.clear()
+
+    # -- worker-task isolation ----------------------------------------------
+
+    def open_account(self, worker: int) -> "WorkerMemoryAccount":
+        """Open an isolated delta ledger for one worker task.
+
+        The account snapshots the worker's current residency as its
+        baseline; allocations and releases accumulate locally (raising
+        :class:`OutOfMemoryError` against the same budget) until
+        :meth:`commit` folds them back in.
+        """
+        return WorkerMemoryAccount(
+            worker=worker,
+            baseline=self.resident(worker),
+            limit=self.per_worker_tuples,
+        )
+
+    def commit(self, account: "WorkerMemoryAccount") -> None:
+        """Fold a worker account's net residency and peak back in."""
+        worker = account.worker
+        self._resident[worker] = account.resident(worker)
+        if account.peak(worker) > self._peak.get(worker, 0):
+            self._peak[worker] = account.peak(worker)
+
+
+@dataclass
+class WorkerMemoryAccount:
+    """One worker's isolated memory ledger for a single runtime task.
+
+    Duck-type compatible with :class:`MemoryBudget` for the operators
+    (``allocate``/``release``/``resident``/``peak`` all take a worker id,
+    which must match the account's own), so local-join code is oblivious to
+    whether it runs against the shared budget or a per-task account.
+    """
+
+    worker: int
+    baseline: int = 0
+    limit: Optional[int] = None
+    _delta: int = 0
+    _peak: int = 0
+
+    def __post_init__(self) -> None:
+        self._peak = self.baseline
+
+    def _check_worker(self, worker: int) -> None:
+        if worker != self.worker:
+            raise ValueError(
+                f"account for worker {self.worker} used with worker {worker}"
+            )
+
+    def allocate(self, worker: int, tuples: int, phase: str = "") -> None:
+        self._check_worker(worker)
+        self._delta += tuples
+        resident = self.baseline + self._delta
+        if resident > self._peak:
+            self._peak = resident
+        if self.limit is not None and resident > self.limit:
+            raise OutOfMemoryError(worker, phase, resident, self.limit)
+
+    def release(self, worker: int, tuples: int) -> None:
+        self._check_worker(worker)
+        self._delta = max(-self.baseline, self._delta - tuples)
+
+    def resident(self, worker: int) -> int:
+        self._check_worker(worker)
+        return self.baseline + self._delta
+
+    def peak(self, worker: int) -> int:
+        self._check_worker(worker)
+        return self._peak
+
+
+#: what local operators register residency with: the shared budget (serial
+#: callers, shuffles) or one task's isolated account (worker runtimes)
+MemorySink = Union[MemoryBudget, WorkerMemoryAccount]

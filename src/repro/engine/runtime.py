@@ -1,0 +1,202 @@
+"""Pluggable worker runtimes for the per-worker local-join phases.
+
+The simulator's "workers" are logical partitions; the executor's local-join
+loops (``for worker in range(p): ...``) historically ran them one after
+another on a single core.  HoneyComb (Wu & Suciu, 2025) makes the case that
+worst-case-optimal distributed joins only pay off at scale when local
+evaluation exploits multicores — this module is that seam.
+
+Two runtimes implement the same contract:
+
+- :class:`SerialRuntime` — runs worker tasks in worker-id order on the
+  calling thread (bit-identical to the historical behavior);
+- :class:`ParallelRuntime` — runs them concurrently on a
+  :class:`concurrent.futures.ThreadPoolExecutor`.
+
+Determinism is guaranteed by construction rather than by locking: every
+worker task receives an isolated :class:`WorkerLedger` — a per-worker
+:class:`~repro.engine.stats.WorkerStats` recorder plus a
+:class:`~repro.engine.memory.WorkerMemoryAccount` delta ledger — so no
+shared mutable ``stats``/``memory`` object is threaded through concurrent
+operator calls.  Ledgers are merged back into the shared
+:class:`~repro.engine.stats.ExecutionStats` and
+:class:`~repro.engine.memory.MemoryBudget` in worker-id order, making result
+rows and every counted metric (CPU charges, wall clock, peak memory, skews)
+identical across runtimes.  Failure is deterministic too: when workers run
+out of memory, the runtime commits the ledgers of every worker *before* the
+lowest failing worker id (plus that worker's partial ledger) and re-raises
+its :class:`~repro.engine.memory.OutOfMemoryError` — exactly the state a
+serial execution leaves behind.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Union
+
+from .memory import MemoryBudget, WorkerMemoryAccount
+from .stats import ExecutionStats, WorkerStats
+
+#: a worker task: called with (worker id, its ledger), returns any value
+WorkerTask = Callable[[int, "WorkerLedger"], Any]
+
+
+@dataclass
+class WorkerLedger:
+    """Isolated per-worker stat recorder and memory account for one task."""
+
+    worker: int
+    stats: WorkerStats
+    memory: WorkerMemoryAccount
+
+
+def _open_ledger(worker: int, memory: MemoryBudget) -> WorkerLedger:
+    return WorkerLedger(
+        worker=worker,
+        stats=WorkerStats(worker),
+        memory=memory.open_account(worker),
+    )
+
+
+class WorkerRuntime:
+    """Contract shared by the serial and parallel runtimes."""
+
+    name = "abstract"
+
+    def map_workers(
+        self,
+        worker_ids: Iterable[int],
+        task: WorkerTask,
+        stats: ExecutionStats,
+        memory: MemoryBudget,
+    ) -> list:
+        """Run ``task`` once per worker id; return values in worker order.
+
+        Ledgers are committed into ``stats``/``memory`` in worker-id order.
+        If any task raises, the error of the lowest failing worker id is
+        re-raised after committing the ledgers of all earlier workers plus
+        the failing worker's partial ledger (discarding later workers),
+        which matches a serial execution stopping at the first failure.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _commit(
+        stats: ExecutionStats, memory: MemoryBudget, ledger: WorkerLedger
+    ) -> None:
+        stats.merge_worker(ledger.stats)
+        memory.commit(ledger.memory)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialRuntime(WorkerRuntime):
+    """Run worker tasks one after another on the calling thread."""
+
+    name = "serial"
+
+    def map_workers(
+        self,
+        worker_ids: Iterable[int],
+        task: WorkerTask,
+        stats: ExecutionStats,
+        memory: MemoryBudget,
+    ) -> list:
+        values = []
+        for worker in worker_ids:
+            ledger = _open_ledger(worker, memory)
+            try:
+                value = task(worker, ledger)
+            except Exception:
+                self._commit(stats, memory, ledger)
+                raise
+            self._commit(stats, memory, ledger)
+            values.append(value)
+        return values
+
+
+class ParallelRuntime(WorkerRuntime):
+    """Run worker tasks concurrently on a thread pool.
+
+    ``max_workers=None`` sizes the pool to the machine's core count.  The
+    ledger isolation + ordered merge makes results and counted metrics
+    identical to :class:`SerialRuntime`; only real ``elapsed_seconds``
+    changes with available cores.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("ParallelRuntime needs at least one pool worker")
+        self.max_workers = max_workers
+
+    def map_workers(
+        self,
+        worker_ids: Iterable[int],
+        task: WorkerTask,
+        stats: ExecutionStats,
+        memory: MemoryBudget,
+    ) -> list:
+        ids = list(worker_ids)
+        if not ids:
+            return []
+        ledgers = {worker: _open_ledger(worker, memory) for worker in ids}
+        outcomes: dict[int, tuple[Any, Optional[BaseException]]] = {}
+        pool_size = self.max_workers or min(32, os.cpu_count() or 1)
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            futures = {
+                worker: pool.submit(task, worker, ledgers[worker])
+                for worker in ids
+            }
+            for worker in ids:
+                try:
+                    outcomes[worker] = (futures[worker].result(), None)
+                except Exception as error:
+                    outcomes[worker] = (None, error)
+        values = []
+        for worker in ids:
+            value, error = outcomes[worker]
+            self._commit(stats, memory, ledgers[worker])
+            if error is not None:
+                raise error
+            values.append(value)
+        return values
+
+    def __repr__(self) -> str:
+        return f"ParallelRuntime(max_workers={self.max_workers})"
+
+
+RuntimeLike = Union[str, WorkerRuntime, None]
+
+
+def resolve_runtime(spec: RuntimeLike) -> WorkerRuntime:
+    """Turn a runtime spec into a runtime instance.
+
+    Accepts an existing :class:`WorkerRuntime`, ``None`` (→ serial), or the
+    CLI spellings ``"serial"``, ``"parallel"``, and ``"parallel:N"`` for a
+    pool of exactly ``N`` threads.
+    """
+    if spec is None:
+        return SerialRuntime()
+    if isinstance(spec, WorkerRuntime):
+        return spec
+    text = str(spec).strip().lower()
+    if text == "serial":
+        return SerialRuntime()
+    if text == "parallel":
+        return ParallelRuntime()
+    if text.startswith("parallel:"):
+        try:
+            count = int(text.split(":", 1)[1])
+        except ValueError:
+            raise ValueError(
+                f"bad runtime spec {spec!r}; use 'serial' or 'parallel[:N]'"
+            ) from None
+        return ParallelRuntime(max_workers=count)
+    raise ValueError(
+        f"unknown runtime {spec!r}; use 'serial' or 'parallel[:N]'"
+    )

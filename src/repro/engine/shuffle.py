@@ -125,7 +125,10 @@ def hypercube_shuffle(
     The frame's variables must be the atom's variables (the scan output);
     hashing uses the per-dimension hash functions of ``mapping``.  Workers
     beyond ``mapping.workers_used`` receive nothing (the optimal integral
-    configuration may leave machines idle, paper Sec. 4).
+    configuration may leave machines idle, paper Sec. 4) — consumer skew is
+    therefore computed over the ``workers_used`` participating consumers
+    only, so idle machines do not dilute the average load and inflate the
+    reported skew (Table 3's ~1.05).
     """
     variables = frames[0].variables
     if set(variables) != set(atom.variables()):
@@ -152,6 +155,7 @@ def hypercube_shuffle(
                 outputs[destination].append(row)
                 sent[producer] += 1
     received = [len(rows) for rows in outputs]
-    stats.record_shuffle(name, sent, received)
+    # idle workers beyond the integral configuration are not consumers
+    stats.record_shuffle(name, sent, received[: mapping.workers_used])
     _charge_shuffle(stats, phase, sent, received, memory)
     return [Frame(variables, rows) for rows in outputs]

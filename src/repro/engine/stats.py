@@ -13,13 +13,26 @@ The simulator reproduces these as *counted* quantities:
 - ``total_cpu`` is the sum of all charges; ``wall_clock`` is the sum over
   phases of the maximum per-worker charge — the paper's observation that the
   runtime of a communication round is the runtime of its slowest worker.
+
+Skew semantics: a shuffle's consumer skew is computed over the workers that
+*participate* in the shuffle.  A HyperCube configuration may leave machines
+idle (``workers_used < p``, paper Sec. 4); those idle machines receive
+nothing by construction and must not dilute the average load — an integral
+configuration using 60 of 64 workers would otherwise report a skew inflated
+by 64/60, contradicting the paper's ~1.05 Table 3 measurement.
+
+Local-join phases run through a worker runtime
+(:mod:`~repro.engine.runtime`): each worker task records its charges into an
+isolated :class:`WorkerStats` ledger, merged deterministically (in worker-id
+order) via :meth:`ExecutionStats.merge_worker` — so serial and parallel
+execution produce identical counted metrics.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 
 def skew_factor(loads: Iterable[float]) -> float:
@@ -31,6 +44,43 @@ def skew_factor(loads: Iterable[float]) -> float:
     if total == 0:
         return 1.0
     return max(loads) / (total / len(loads))
+
+
+@dataclass
+class WorkerStats:
+    """One worker's isolated stat ledger for a single runtime task.
+
+    Duck-type compatible with :class:`ExecutionStats` for the local
+    operators (``charge``/``record_memory`` take a worker id, which must
+    match the ledger's own).  Filled in isolation by a worker task and
+    merged into the shared :class:`ExecutionStats` afterward.
+    """
+
+    worker: int
+    #: phase name -> charged work units (insertion-ordered, single worker)
+    phase_loads: dict[str, float] = field(default_factory=dict)
+    #: high-water resident tuple count observed by this task
+    peak_memory: int = 0
+
+    def _check_worker(self, worker: int) -> None:
+        if worker != self.worker:
+            raise ValueError(
+                f"ledger for worker {self.worker} charged by worker {worker}"
+            )
+
+    def charge(self, worker: int, amount: float, phase: str) -> None:
+        self._check_worker(worker)
+        self.phase_loads[phase] = self.phase_loads.get(phase, 0.0) + amount
+
+    def record_memory(self, worker: int, resident_tuples: int) -> None:
+        self._check_worker(worker)
+        if resident_tuples > self.peak_memory:
+            self.peak_memory = resident_tuples
+
+
+#: what local operators charge into: the shared stats (serial callers,
+#: shuffles) or one task's isolated ledger (worker runtimes)
+StatsSink = Union["ExecutionStats", WorkerStats]
 
 
 @dataclass
@@ -94,6 +144,18 @@ class ExecutionStats:
         previous = self.peak_memory.get(worker, 0)
         if resident_tuples > previous:
             self.peak_memory[worker] = resident_tuples
+
+    def merge_worker(self, ledger: WorkerStats) -> None:
+        """Fold one worker's isolated ledger into the shared stats.
+
+        Called by the worker runtime in worker-id order, which makes the
+        merged phase/worker insertion order — and hence every derived
+        metric — independent of the runtime's actual execution schedule.
+        """
+        for phase, amount in ledger.phase_loads.items():
+            self.charge(ledger.worker, amount, phase)
+        if ledger.peak_memory > self.peak_memory.get(ledger.worker, 0):
+            self.peak_memory[ledger.worker] = ledger.peak_memory
 
     def mark_failed(self, reason: str) -> None:
         self.failed = True

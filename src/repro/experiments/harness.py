@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 from ..engine.cluster import Cluster
 from ..engine.memory import MemoryBudget
+from ..engine.runtime import RuntimeLike
 from ..planner.binary import LeftDeepPlan, left_deep_plan, plan_from_order
 from ..planner.executor import ExecutionResult, execute
 from ..planner.plans import ALL_STRATEGIES, Strategy
@@ -72,6 +73,7 @@ def run_grid(
     strategies: Sequence[Strategy] = ALL_STRATEGIES,
     memory_tuples: Optional[int] = None,
     plan_order: Optional[Sequence[str]] = None,
+    runtime: RuntimeLike = None,
 ) -> GridResult:
     """Run ``query`` under each strategy on fresh clusters over ``database``."""
     catalog = Catalog(database)
@@ -93,6 +95,7 @@ def run_grid(
             catalog=catalog,
             variable_order=order,
             plan=plan,
+            runtime=runtime,
         )
     return grid
 
@@ -103,6 +106,7 @@ def run_workload(
     workers: int = 64,
     strategies: Sequence[Strategy] = ALL_STRATEGIES,
     enforce_memory: bool = True,
+    runtime: RuntimeLike = None,
 ) -> GridResult:
     """Run one registered workload (Q1..Q8) through the strategy grid."""
     workload = get_workload(name)
@@ -115,6 +119,7 @@ def run_workload(
         strategies=strategies,
         memory_tuples=memory,
         plan_order=workload.rs_plan_order,
+        runtime=runtime,
     )
 
 

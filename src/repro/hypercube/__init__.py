@@ -41,4 +41,5 @@ __all__ = [
     "optimize_config",
     "random_cell_allocation",
     "replication_factor",
+    "round_down_config",
 ]

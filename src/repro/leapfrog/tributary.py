@@ -19,7 +19,7 @@ and head projection with duplicate elimination for non-full queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Optional, Sequence, Union
 
 from ..query.atoms import Atom, Comparison, ConjunctiveQuery, Variable

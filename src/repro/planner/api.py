@@ -15,6 +15,7 @@ from typing import Optional, Sequence, Union
 
 from ..engine.cluster import Cluster
 from ..engine.memory import MemoryBudget
+from ..engine.runtime import RuntimeLike
 from ..query.atoms import ConjunctiveQuery, Variable
 from ..query.parser import parse_query
 from ..storage.relation import Database
@@ -49,19 +50,24 @@ def run_query(
     workers: int = 64,
     memory_tuples: Optional[int] = None,
     variable_order: Optional[Sequence[Variable]] = None,
+    runtime: RuntimeLike = None,
 ) -> ExecutionResult:
     """Parse (if needed), plan, and execute a query on a fresh cluster.
 
     ``strategy`` is one of RS_HJ, RS_TJ, BR_HJ, BR_TJ, HC_HJ, HC_TJ, or
     ``"SJ_HJ"`` for the semijoin-reduction plan on acyclic queries.
+    ``runtime`` is ``"serial"`` (default), ``"parallel[:N]"``, or a
+    :class:`~repro.engine.runtime.WorkerRuntime` instance.
     """
     parsed = _as_query(query)
     cluster = make_cluster(database, workers=workers, memory_tuples=memory_tuples)
     if isinstance(strategy, str) and strategy == "SJ_HJ":
-        return execute_semijoin(parsed, cluster)
+        return execute_semijoin(parsed, cluster, runtime=runtime)
     if isinstance(strategy, str):
         strategy = Strategy.parse(strategy)
-    return execute(parsed, cluster, strategy, variable_order=variable_order)
+    return execute(
+        parsed, cluster, strategy, variable_order=variable_order, runtime=runtime
+    )
 
 
 def run_all_strategies(
@@ -69,11 +75,12 @@ def run_all_strategies(
     database: Database,
     workers: int = 64,
     memory_tuples: Optional[int] = None,
+    runtime: RuntimeLike = None,
 ) -> dict[str, ExecutionResult]:
     """Run a query under all six configurations (the paper's Figs. 3-17)."""
     parsed = _as_query(query)
     results = {}
     for strategy in ALL_STRATEGIES:
         cluster = make_cluster(database, workers=workers, memory_tuples=memory_tuples)
-        results[strategy.name] = execute(parsed, cluster, strategy)
+        results[strategy.name] = execute(parsed, cluster, strategy, runtime=runtime)
     return results

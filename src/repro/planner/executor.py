@@ -23,21 +23,36 @@ Plan shapes:
 Simulated out-of-memory (:class:`~repro.engine.memory.OutOfMemoryError`)
 turns into a FAILed :class:`ExecutionResult` — the paper's Fig. 9 reports
 exactly this outcome for RS_TJ on Q4.
+
+The per-worker local-join phases run through a pluggable worker runtime
+(:mod:`~repro.engine.runtime`): each worker task records into an isolated
+:class:`~repro.engine.runtime.WorkerLedger` merged back deterministically,
+so :class:`~repro.engine.runtime.SerialRuntime` and
+:class:`~repro.engine.runtime.ParallelRuntime` produce identical result
+rows and counted metrics.
+
+Memory accounting follows one model across all strategies: scans register
+each atom's post-selection fragments as resident, shuffles move that
+residency to the consumers (the scanned source fragments are released once
+streamed out), and every join step releases its consumed inputs and
+filter-dropped rows so only live intermediates count — the OOM model fires
+on peak working set, not on a monotonically growing cumulative sum.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
 from ..engine.cluster import Cluster
 from ..engine.frame import Frame, atom_frame
 from ..engine.hash_join import apply_comparisons, symmetric_hash_join
 from ..engine.local import local_tributary_join, scanned_query
-from ..engine.memory import OutOfMemoryError
+from ..engine.memory import MemorySink, OutOfMemoryError
+from ..engine.runtime import RuntimeLike, WorkerRuntime, resolve_runtime
 from ..engine.shuffle import broadcast, hypercube_shuffle, regular_shuffle
-from ..engine.stats import ExecutionStats
+from ..engine.stats import ExecutionStats, StatsSink
 from ..hypercube.config import HyperCubeConfig, optimize_config
 from ..hypercube.mapping import HyperCubeMapping
 from ..leapfrog.variable_order import best_join_order, full_variable_order
@@ -68,11 +83,16 @@ def _canonical(variables: Sequence[Variable]) -> tuple[Variable, ...]:
 
 
 def _scan_atoms(
-    query: ConjunctiveQuery, cluster: Cluster
+    query: ConjunctiveQuery, cluster: Cluster, stats: ExecutionStats
 ) -> tuple[dict[str, list[Frame]], list[Comparison]]:
     """Scan every atom on every worker, pushing down constants and any
     comparison fully covered by a single atom.  Returns per-alias per-worker
-    frames and the comparisons that remain for the join pipeline."""
+    frames and the comparisons that remain for the join pipeline.
+
+    Every post-selection fragment is registered as resident with the
+    worker's memory budget — the same scan-residency accounting for all
+    strategies, so cross-strategy peak-memory comparisons are
+    apples-to-apples."""
     encoder = cluster.encoder()
     remaining: list[Comparison] = []
     coverable: dict[str, list[Comparison]] = {atom.alias: [] for atom in query.atoms}
@@ -108,6 +128,10 @@ def _scan_atoms(
                 )
             per_worker.append(frame)
         frames[atom.alias] = per_worker
+        for worker, frame in enumerate(per_worker):
+            if len(frame):
+                cluster.memory.allocate(worker, len(frame), "scan")
+                stats.record_memory(worker, cluster.memory.resident(worker))
     return frames, remaining
 
 
@@ -146,23 +170,41 @@ def execute(
     variable_order: Optional[Sequence[Variable]] = None,
     plan: Optional[LeftDeepPlan] = None,
     hc_seed: int = 0,
+    runtime: RuntimeLike = None,
 ) -> ExecutionResult:
-    """Run ``query`` on ``cluster`` with the given strategy."""
+    """Run ``query`` on ``cluster`` with the given strategy.
+
+    ``runtime`` selects how the per-worker local-join phases execute:
+    ``"serial"`` (default), ``"parallel"``/``"parallel:N"``, or a
+    :class:`~repro.engine.runtime.WorkerRuntime` instance.  Result rows and
+    counted metrics are identical across runtimes; only the real
+    ``elapsed_seconds`` depends on available cores.
+    """
     if cluster.database is None:
         raise RuntimeError("cluster has no loaded database; call cluster.load()")
     stats = ExecutionStats(
         query=query.name, strategy=strategy.name, workers=cluster.workers
     )
     catalog = catalog or Catalog(cluster.database)
+    worker_runtime = resolve_runtime(runtime)
     cluster.memory.reset()
     started = time.perf_counter()
     result = ExecutionResult(rows=[], stats=stats)
     try:
         if strategy.shuffle is ShuffleKind.REGULAR:
-            result = _execute_regular(query, cluster, strategy, catalog, plan, stats)
+            result = _execute_regular(
+                query, cluster, strategy, catalog, plan, stats, worker_runtime
+            )
         elif strategy.shuffle is ShuffleKind.BROADCAST:
             result = _execute_broadcast(
-                query, cluster, strategy, catalog, plan, variable_order, stats
+                query,
+                cluster,
+                strategy,
+                catalog,
+                plan,
+                variable_order,
+                stats,
+                worker_runtime,
             )
         else:
             result = _execute_hypercube(
@@ -175,6 +217,7 @@ def execute(
                 variable_order,
                 hc_seed,
                 stats,
+                worker_runtime,
             )
     except OutOfMemoryError as oom:
         stats.mark_failed(str(oom))
@@ -194,14 +237,14 @@ def _binary_local_join(
     right: Frame,
     join_vars: Sequence[Variable],
     worker: int,
-    stats: ExecutionStats,
+    stats: StatsSink,
     step: int,
-    cluster: Cluster,
+    memory: MemorySink,
 ) -> Frame:
     phase = f"step{step}:join"
     if strategy.join is JoinKind.HASH:
         return symmetric_hash_join(
-            left, right, join_vars, worker, stats, phase, cluster.memory
+            left, right, join_vars, worker, stats, phase, memory
         )
     # Binary Tributary join == sort-merge join: build a 2-atom query over the
     # two frames and run the multiway machinery on it.
@@ -222,7 +265,7 @@ def _binary_local_join(
         order=order,
         sort_phase=f"step{step}:sort",
         join_phase=phase,
-        memory=cluster.memory,
+        memory=memory,
     )
     return Frame(out_vars, rows)
 
@@ -234,11 +277,12 @@ def _execute_regular(
     catalog: Catalog,
     plan: Optional[LeftDeepPlan],
     stats: ExecutionStats,
+    runtime: WorkerRuntime,
 ) -> ExecutionResult:
     plan = plan or left_deep_plan(query, catalog)
-    frames, pending = _scan_atoms(query, cluster)
+    frames, pending = _scan_atoms(query, cluster, stats)
     rows = run_regular_pipeline(
-        query, cluster, strategy, plan, stats, frames, pending
+        query, cluster, strategy, plan, stats, frames, pending, runtime
     )
     return ExecutionResult(rows=rows, stats=stats, plan=plan)
 
@@ -251,12 +295,14 @@ def run_regular_pipeline(
     stats: ExecutionStats,
     frames: Mapping[str, list[Frame]],
     pending: Sequence[Comparison],
+    runtime: RuntimeLike = None,
 ) -> list[tuple[int, ...]]:
     """The left-deep shuffle-then-join pipeline over given scanned frames.
 
     Exposed separately so the semijoin planner (Sec. 3.6) can run the final
     join phase over its reduced relations.
     """
+    runtime = resolve_runtime(runtime)
     atoms = {atom.alias: atom for atom in query.atoms}
     workers = cluster.workers
     pending = list(pending)
@@ -273,6 +319,9 @@ def run_regular_pipeline(
         if join_vars:
             key = _canonical(join_vars)
             if partition_key != frozenset(key):
+                # the shuffle streams the old partitioning out as it sends,
+                # so its residency is freed before receive buffers fill
+                cluster.release_frames(current)
                 current = regular_shuffle(
                     current,
                     key,
@@ -282,6 +331,7 @@ def run_regular_pipeline(
                     phase=shuffle_phase,
                     memory=cluster.memory,
                 )
+            cluster.release_frames(frames[alias])
             right = regular_shuffle(
                 frames[alias],
                 key,
@@ -294,6 +344,7 @@ def run_regular_pipeline(
             partition_key = frozenset(key)
         else:
             # Cartesian step: replicate the (smaller) atom everywhere.
+            cluster.release_frames(frames[alias])
             right = broadcast(
                 frames[alias],
                 workers,
@@ -302,26 +353,42 @@ def run_regular_pipeline(
                 phase=shuffle_phase,
                 memory=cluster.memory,
             )
-        joined: list[Frame] = []
-        deferred = list(pending)
-        for worker in range(workers):
+
+        left = current
+        step_pending = list(pending)
+
+        def join_step(worker, ledger, left=left, right=right,
+                      join_vars=join_vars, step=step, step_pending=step_pending):
             out = _binary_local_join(
                 strategy,
-                current[worker],
+                left[worker],
                 right[worker],
                 join_vars,
                 worker,
-                stats,
+                ledger.stats,
                 step,
-                cluster,
+                ledger.memory,
             )
+            produced = len(out.rows)
             # every worker filters against the full pending list; the
             # deferred remainder is the same for all of them
             out, deferred = apply_comparisons(
-                out, pending, worker, stats, f"step{step}:filter"
+                out, step_pending, worker, ledger.stats, f"step{step}:filter"
             )
-            joined.append(out)
-        pending = deferred
+            # consumed inputs and filter-dropped rows leave worker memory
+            dropped = produced - len(out.rows)
+            if dropped:
+                ledger.memory.release(worker, dropped)
+            consumed = len(left[worker]) + len(right[worker])
+            if consumed:
+                ledger.memory.release(worker, consumed)
+            return out, deferred
+
+        outcomes = runtime.map_workers(
+            range(workers), join_step, stats, cluster.memory
+        )
+        joined = [out for out, _ in outcomes]
+        pending = outcomes[0][1] if outcomes else pending
         current = joined
         current_vars = joined[0].variables if joined else current_vars
 
@@ -342,8 +409,8 @@ def _local_hash_pipeline(
     frames_of_worker: Mapping[str, Frame],
     pending: Sequence[Comparison],
     worker: int,
-    stats: ExecutionStats,
-    cluster: Cluster,
+    stats: StatsSink,
+    memory: MemorySink,
 ) -> Frame:
     atoms = {atom.alias: atom for atom in query.atoms}
     current = frames_of_worker[plan.order[0]]
@@ -351,20 +418,86 @@ def _local_hash_pipeline(
     remaining = list(pending)
     for step, alias in enumerate(plan.order[1:], start=1):
         join_vars = shared_variables(current_vars, atoms[alias])
+        left = current
         current = symmetric_hash_join(
-            current,
+            left,
             frames_of_worker[alias],
             join_vars,
             worker,
             stats,
             f"step{step}:join",
-            cluster.memory,
+            memory,
         )
+        produced = len(current.rows)
         current, remaining = apply_comparisons(
             current, remaining, worker, stats, f"step{step}:filter"
         )
+        # consumed inputs and filter-dropped rows leave worker memory
+        dropped = produced - len(current.rows)
+        if dropped:
+            memory.release(worker, dropped)
+        consumed = len(left.rows) + len(frames_of_worker[alias].rows)
+        if consumed:
+            memory.release(worker, consumed)
         current_vars = list(current.variables)
     return current
+
+
+def _local_join_phase(
+    query: ConjunctiveQuery,
+    strategy: Strategy,
+    catalog: Catalog,
+    plan: Optional[LeftDeepPlan],
+    variable_order: Optional[Sequence[Variable]],
+    shuffled: Mapping[str, list[Frame]],
+    pending: Sequence[Comparison],
+    worker_ids: Sequence[int],
+    stats: ExecutionStats,
+    cluster: Cluster,
+    runtime: WorkerRuntime,
+) -> tuple[list[list[tuple[int, ...]]], Optional[list[int]], Optional[tuple[Variable, ...]]]:
+    """Run the single-round local evaluation (BR/HC) on every worker.
+
+    Returns per-worker result rows, the head projection indices (hash
+    pipeline only), and the variable order (Tributary only)."""
+    if strategy.join is JoinKind.TRIBUTARY:
+        local_query = scanned_query(query)
+        order = _resolve_order(query, catalog, variable_order)
+
+        def tributary_task(worker, ledger):
+            frames_of_worker = {
+                alias: shuffled[alias][worker] for alias in shuffled
+            }
+            rows = local_tributary_join(
+                local_query,
+                frames_of_worker,
+                worker,
+                ledger.stats,
+                order=order,
+                memory=ledger.memory,
+            )
+            consumed = sum(len(f) for f in frames_of_worker.values())
+            if consumed:
+                ledger.memory.release(worker, consumed)
+            return rows
+
+        per_worker_rows = runtime.map_workers(
+            worker_ids, tributary_task, stats, cluster.memory
+        )
+        return per_worker_rows, None, order
+
+    def hash_task(worker, ledger):
+        frames_of_worker = {alias: shuffled[alias][worker] for alias in shuffled}
+        return _local_hash_pipeline(
+            query, plan, frames_of_worker, pending, worker,
+            ledger.stats, ledger.memory,
+        )
+
+    outs = runtime.map_workers(worker_ids, hash_task, stats, cluster.memory)
+    head_indices = (
+        [outs[0].variables.index(v) for v in query.head] if outs else None
+    )
+    return [out.rows for out in outs], head_indices, None
 
 
 def _execute_broadcast(
@@ -375,21 +508,23 @@ def _execute_broadcast(
     plan: Optional[LeftDeepPlan],
     variable_order: Optional[Sequence[Variable]],
     stats: ExecutionStats,
+    runtime: WorkerRuntime,
 ) -> ExecutionResult:
     plan = plan or left_deep_plan(query, catalog)
     workers = cluster.workers
-    frames, pending = _scan_atoms(query, cluster)
+    frames, pending = _scan_atoms(query, cluster, stats)
     sizes = _scanned_sizes(frames)
     anchor = max(sizes, key=lambda alias: sizes[alias])
 
     shuffled: dict[str, list[Frame]] = {}
     for atom in query.atoms:
         if atom.alias == anchor:
+            # anchor fragments stay in place; the scan already registered
+            # their residency, so nothing moves and nothing is re-charged
             shuffled[atom.alias] = frames[atom.alias]
-            # anchor fragments become resident inputs of the local join
-            for worker, frame in enumerate(frames[atom.alias]):
-                cluster.memory.allocate(worker, len(frame), "broadcast")
         else:
+            # streamed out as the broadcast sends; freed before replicas land
+            cluster.release_frames(frames[atom.alias])
             shuffled[atom.alias] = broadcast(
                 frames[atom.alias],
                 workers,
@@ -399,44 +534,17 @@ def _execute_broadcast(
                 memory=cluster.memory,
             )
 
-    per_worker_rows: list[list[tuple[int, ...]]] = []
-    head_indices: Optional[list[int]] = None
-    if strategy.join is JoinKind.TRIBUTARY:
-        local_query = scanned_query(query)
-        order = _resolve_order(query, catalog, variable_order)
-        for worker in range(workers):
-            frames_of_worker = {
-                alias: shuffled[alias][worker] for alias in shuffled
-            }
-            rows = local_tributary_join(
-                local_query,
-                frames_of_worker,
-                worker,
-                stats,
-                order=order,
-                memory=cluster.memory,
-            )
-            per_worker_rows.append(rows)
-    else:
-        for worker in range(workers):
-            frames_of_worker = {alias: shuffled[alias][worker] for alias in shuffled}
-            out = _local_hash_pipeline(
-                query, plan, frames_of_worker, pending, worker, stats, cluster
-            )
-            if head_indices is None:
-                head_indices = [out.variables.index(v) for v in query.head]
-            per_worker_rows.append(out.rows)
+    per_worker_rows, head_indices, order = _local_join_phase(
+        query, strategy, catalog, plan, variable_order, shuffled, pending,
+        range(workers), stats, cluster, runtime,
+    )
 
     rows = _finalize(query, per_worker_rows, head_indices, stats)
     return ExecutionResult(
         rows=rows,
         stats=stats,
         plan=plan,
-        variable_order=(
-            _resolve_order(query, catalog, variable_order)
-            if strategy.join is JoinKind.TRIBUTARY
-            else None
-        ),
+        variable_order=order,
     )
 
 
@@ -466,15 +574,18 @@ def _execute_hypercube(
     variable_order: Optional[Sequence[Variable]],
     hc_seed: int,
     stats: ExecutionStats,
+    runtime: WorkerRuntime,
 ) -> ExecutionResult:
     workers = cluster.workers
-    frames, pending = _scan_atoms(query, cluster)
+    frames, pending = _scan_atoms(query, cluster, stats)
     sizes = _scanned_sizes(frames)
     config = hc_config or optimize_config(query, sizes, workers)
     mapping = HyperCubeMapping(config, seed=hc_seed)
 
     shuffled: dict[str, list[Frame]] = {}
     for atom in query.atoms:
+        # streamed out as the shuffle sends; freed before receive buffers fill
+        cluster.release_frames(frames[atom.alias])
         shuffled[atom.alias] = hypercube_shuffle(
             frames[atom.alias],
             atom,
@@ -486,33 +597,12 @@ def _execute_hypercube(
             memory=cluster.memory,
         )
 
-    per_worker_rows: list[list[tuple[int, ...]]] = []
-    head_indices: Optional[list[int]] = None
-    order: Optional[tuple[Variable, ...]] = None
-    if strategy.join is JoinKind.TRIBUTARY:
-        local_query = scanned_query(query)
-        order = _resolve_order(query, catalog, variable_order)
-        for worker in range(mapping.workers_used):
-            frames_of_worker = {alias: shuffled[alias][worker] for alias in shuffled}
-            rows = local_tributary_join(
-                local_query,
-                frames_of_worker,
-                worker,
-                stats,
-                order=order,
-                memory=cluster.memory,
-            )
-            per_worker_rows.append(rows)
-    else:
+    if strategy.join is not JoinKind.TRIBUTARY:
         plan = plan or left_deep_plan(query, catalog)
-        for worker in range(mapping.workers_used):
-            frames_of_worker = {alias: shuffled[alias][worker] for alias in shuffled}
-            out = _local_hash_pipeline(
-                query, plan, frames_of_worker, pending, worker, stats, cluster
-            )
-            if head_indices is None:
-                head_indices = [out.variables.index(v) for v in query.head]
-            per_worker_rows.append(out.rows)
+    per_worker_rows, head_indices, order = _local_join_phase(
+        query, strategy, catalog, plan, variable_order, shuffled, pending,
+        range(mapping.workers_used), stats, cluster, runtime,
+    )
 
     rows = _finalize(query, per_worker_rows, head_indices, stats)
     # HC evaluates all atoms at once but full-query bindings can repeat when

@@ -22,6 +22,7 @@ from typing import Optional
 
 from ..engine.cluster import Cluster
 from ..engine.frame import Frame
+from ..engine.runtime import RuntimeLike, WorkerRuntime, resolve_runtime
 from ..engine.stats import ExecutionStats
 from ..query.atoms import ConjunctiveQuery, Variable
 from ..query.catalog import Catalog
@@ -45,6 +46,7 @@ def _distributed_semijoin(
     stats: ExecutionStats,
     label: str,
     phase: str,
+    runtime: WorkerRuntime,
 ) -> list[Frame]:
     """Replace ``target`` with ``target ⋉ source`` on the shared variables."""
     workers = cluster.workers
@@ -56,6 +58,9 @@ def _distributed_semijoin(
         stats.charge(worker, len(frame), f"{phase}:project")
         projected.append(frame.project(key, dedup=True))
 
+    # the old target partitioning streams out as the shuffle sends, so its
+    # residency is freed before the receive buffers fill
+    cluster.release_frames(target)
     shuffled_target = regular_shuffle(
         target,
         key,
@@ -75,8 +80,7 @@ def _distributed_semijoin(
         memory=cluster.memory,
     )
 
-    reduced: list[Frame] = []
-    for worker in range(workers):
+    def semijoin_task(worker, ledger):
         keys = set(shuffled_source[worker].rows)
         indices = shuffled_target[worker].indices_of(key)
         kept = [
@@ -84,19 +88,29 @@ def _distributed_semijoin(
             for row in shuffled_target[worker].rows
             if tuple(row[i] for i in indices) in keys
         ]
-        stats.charge(
+        ledger.stats.charge(
             worker,
             len(shuffled_target[worker].rows) + len(keys),
             f"{phase}:semijoin",
         )
-        reduced.append(Frame(shuffled_target[worker].variables, kept))
-    return reduced
+        # the key buffer and the filtered-out target rows leave memory
+        released = len(shuffled_source[worker].rows) + (
+            len(shuffled_target[worker].rows) - len(kept)
+        )
+        if released:
+            ledger.memory.release(worker, released)
+        return Frame(shuffled_target[worker].variables, kept)
+
+    return runtime.map_workers(
+        range(workers), semijoin_task, stats, cluster.memory
+    )
 
 
 def execute_semijoin(
     query: ConjunctiveQuery,
     cluster: Cluster,
     catalog: Optional[Catalog] = None,
+    runtime: RuntimeLike = None,
 ) -> ExecutionResult:
     """Full semijoin plan: reduce all relations, then a regular RS_HJ join.
 
@@ -107,12 +121,13 @@ def execute_semijoin(
         raise RuntimeError("cluster has no loaded database; call cluster.load()")
     tree = join_tree(query)  # raises for cyclic queries
     catalog = catalog or Catalog(cluster.database)
+    worker_runtime = resolve_runtime(runtime)
     stats = ExecutionStats(
         query=query.name, strategy="SJ_HJ", workers=cluster.workers
     )
     cluster.memory.reset()
 
-    frames, pending = _scan_atoms(query, cluster)
+    frames, pending = _scan_atoms(query, cluster, stats)
     atoms = {atom.alias: atom for atom in query.atoms}
 
     def shared_of(a: str, b: str) -> tuple[Variable, ...]:
@@ -136,6 +151,7 @@ def execute_semijoin(
             stats,
             label=f"{parent}<-{child}",
             phase=f"semijoin-up{position}",
+            runtime=worker_runtime,
         )
 
     # Top-down: parents reduce their children, in reverse removal order.
@@ -154,10 +170,11 @@ def execute_semijoin(
             stats,
             label=f"{child}<-{parent}",
             phase=f"semijoin-down{position}",
+            runtime=worker_runtime,
         )
 
     plan = left_deep_plan(query, catalog)
     rows = run_regular_pipeline(
-        query, cluster, RS_HJ, plan, stats, frames, pending
+        query, cluster, RS_HJ, plan, stats, frames, pending, worker_runtime
     )
     return ExecutionResult(rows=rows, stats=stats, plan=plan)

@@ -8,7 +8,7 @@ at plan time so all runtime comparisons are int comparisons.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, Union
+from typing import Callable, Iterable, Iterator, Mapping, Sequence, Union
 
 
 class Relation:

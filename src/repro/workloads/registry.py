@@ -130,11 +130,11 @@ WORKLOADS: dict[str, Workload] = {
     "Q3": Workload("Q3", Q3, freebase_unit, freebase_bench, cyclic=False,
                    paper_best="RS_TJ"),
     "Q4": Workload("Q4", Q4, freebase_unit, freebase_bench_small, cyclic=True,
-                   memory_tuples=3_080_000, paper_best="BR_TJ",
+                   memory_tuples=2_850_000, paper_best="BR_TJ",
                    rs_plan_order=("AP1", "PF1", "PF2", "AP2",
                                   "AP3", "PF3", "PF4", "AP4")),
     "Q5": Workload("Q5", Q5, twitter_unit, twitter_bench_small, cyclic=True,
-                   memory_tuples=790_000, paper_best="HC_TJ"),
+                   memory_tuples=645_000, paper_best="HC_TJ"),
     "Q6": Workload("Q6", Q6, twitter_unit, twitter_bench_small, cyclic=True,
                    paper_best="HC_TJ"),
     "Q7": Workload("Q7", Q7, freebase_unit, freebase_bench, cyclic=False,

@@ -1,7 +1,5 @@
 """Tests for the statistics catalog."""
 
-import pytest
-
 from repro.query.atoms import Atom, Constant, Variable
 from repro.query.catalog import Catalog, cardinalities_for
 from repro.query.parser import parse_query

@@ -7,7 +7,6 @@ count, and any integral configuration.  These tests drive that invariant
 with random data through the real executor.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -17,7 +16,7 @@ from repro.planner.plans import HC_HJ, HC_TJ
 from repro.hypercube.config import config_from_sizes
 from repro.leapfrog.tributary import tributary_join
 from repro.query.parser import parse_query
-from repro.storage.relation import Database, Relation
+from repro.storage.relation import Database
 
 TRIANGLE = parse_query("T(x,y,z) :- R:E(x,y), S:E(y,z), T:E(z,x).")
 PATH = parse_query("P(x,y,z) :- R:E(x,y), S:E(y,z).")

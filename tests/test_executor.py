@@ -118,14 +118,20 @@ class TestFailureModes:
             execute(TRIANGLE, cluster, RS_HJ)
 
     def test_tight_budget_fails_tj_before_hj(self, twitter_db):
-        """The sort materialization makes TJ hit the budget first."""
-        budgets_failing_tj = []
-        for budget in (800, 1600, 3200, 6400, 12800):
-            hj = run(TRIANGLE, twitter_db, RS_HJ, workers=4, memory=budget)
-            tj = run(TRIANGLE, twitter_db, RS_TJ, workers=4, memory=budget)
-            if tj.failed and not hj.failed:
-                budgets_failing_tj.append(budget)
-        assert budgets_failing_tj, "some budget must separate RS_TJ from RS_HJ"
+        """The sort materialization makes TJ hit the budget first.
+
+        A budget exactly equal to RS_HJ's measured peak working set admits
+        the hash pipeline but not the Tributary one, whose sorted input
+        copies push its peak higher (the paper's Fig. 9 failure mode).
+        """
+        hj_peak = max(
+            run(TRIANGLE, twitter_db, RS_HJ, workers=4).stats.peak_memory.values()
+        )
+        hj = run(TRIANGLE, twitter_db, RS_HJ, workers=4, memory=hj_peak)
+        tj = run(TRIANGLE, twitter_db, RS_TJ, workers=4, memory=hj_peak)
+        assert not hj.failed
+        assert tj.failed
+        assert "memory" in tj.stats.failure
 
 
 class TestSingleWorker:

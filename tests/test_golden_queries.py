@@ -5,15 +5,13 @@ of the Datalog rule over the raw relations) cross-checks the entire
 distributed stack on the paper's actual queries at unit scale.
 """
 
-import itertools
-
 import pytest
 
 from repro.engine.cluster import Cluster
 from repro.planner.executor import execute
 from repro.planner.plans import HC_TJ, RS_HJ
-from repro.query.atoms import Constant, Variable
-from repro.workloads import WORKLOADS, get_workload
+from repro.query.atoms import Constant
+from repro.workloads import get_workload
 
 
 def naive_evaluate(query, database):

@@ -1,9 +1,6 @@
 """Tests for HyperCube tuple routing — including the join-correctness core:
 any two joinable tuples must meet on at least one common worker."""
 
-import itertools
-
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

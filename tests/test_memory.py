@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.engine.memory import MemoryBudget, OutOfMemoryError
+from repro.engine.cluster import Cluster
+from repro.engine.memory import MemoryBudget, OutOfMemoryError, WorkerMemoryAccount
+from repro.planner.executor import execute
+from repro.planner.plans import RS_HJ
+from repro.query.parser import parse_query
+from repro.storage.generators import twitter_database
 
 
 class TestBudget:
@@ -63,3 +68,95 @@ class TestBudget:
         budget = MemoryBudget(per_worker_tuples=10)
         with pytest.raises(OutOfMemoryError, match="worker 3"):
             budget.allocate(3, 11, "sort")
+
+
+class TestWorkerAccount:
+    def test_baseline_snapshots_current_residency(self):
+        budget = MemoryBudget()
+        budget.allocate(2, 40)
+        account = budget.open_account(2)
+        assert account.resident(2) == 40
+        assert account.peak(2) == 40
+
+    def test_allocations_stay_local_until_commit(self):
+        budget = MemoryBudget()
+        budget.allocate(0, 10)
+        account = budget.open_account(0)
+        account.allocate(0, 30, "join")
+        assert account.resident(0) == 40
+        assert budget.resident(0) == 10  # untouched
+        budget.commit(account)
+        assert budget.resident(0) == 40
+        assert budget.peak(0) == 40
+
+    def test_commit_merges_peak_not_just_residual(self):
+        budget = MemoryBudget()
+        budget.allocate(0, 10)
+        account = budget.open_account(0)
+        account.allocate(0, 90, "join")
+        account.release(0, 95)
+        budget.commit(account)
+        assert budget.resident(0) == 5
+        assert budget.peak(0) == 100  # transient high-water survives
+
+    def test_limit_enforced_against_baseline_plus_delta(self):
+        budget = MemoryBudget(per_worker_tuples=100)
+        budget.allocate(1, 60)
+        account = budget.open_account(1)
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            account.allocate(1, 50, "sort")
+        assert excinfo.value.worker == 1
+        assert excinfo.value.resident == 110
+
+    def test_release_clamps_at_zero_residency(self):
+        account = WorkerMemoryAccount(worker=0, baseline=20)
+        account.release(0, 100)
+        assert account.resident(0) == 0
+
+    def test_wrong_worker_rejected(self):
+        account = WorkerMemoryAccount(worker=1)
+        with pytest.raises(ValueError):
+            account.allocate(2, 5)
+
+
+TRIANGLE = parse_query(
+    "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)."
+)
+
+
+class TestPeakResidency:
+    """Regression: residency tracks the working set, not a cumulative sum.
+
+    The old accounting never released anything, so a long pipeline's
+    'resident' tuples were the sum of every buffer ever allocated and the
+    budget tested cumulative allocation instead of peak memory."""
+
+    def _run(self, memory=None):
+        db = twitter_database(nodes=150, edges=600, seed=9)
+        cluster = Cluster(4, MemoryBudget(per_worker_tuples=memory))
+        cluster.load(db)
+        return cluster, execute(TRIANGLE, cluster, RS_HJ)
+
+    def test_only_final_output_stays_resident(self):
+        cluster, result = self._run()
+        assert not result.failed
+        resident = sum(cluster.memory.resident(w) for w in range(4))
+        assert resident == len(result.rows)
+
+    def test_peak_is_below_cumulative_allocation(self):
+        cluster, result = self._run()
+        peak = max(cluster.memory.peak(w) for w in range(4))
+        # cumulative allocation includes every scan, shuffle buffer, and
+        # intermediate: 3 scanned atoms + 4 shuffles + 2 join outputs far
+        # exceed the per-step working set
+        shuffled = result.stats.tuples_shuffled
+        assert peak < shuffled
+
+    def test_budget_equal_to_peak_succeeds(self):
+        cluster, result = self._run()
+        peak = max(cluster.memory.peak(w) for w in range(4))
+        _, rerun = self._run(memory=peak)
+        assert not rerun.failed
+        assert rerun.rows == result.rows
+        _, too_tight = self._run(memory=peak - 1)
+        assert too_tight.failed

@@ -1,0 +1,159 @@
+"""Unit tests for the pluggable worker runtimes and their ledger merge."""
+
+import pytest
+
+from repro.engine.memory import MemoryBudget, OutOfMemoryError
+from repro.engine.runtime import (
+    ParallelRuntime,
+    SerialRuntime,
+    WorkerRuntime,
+    resolve_runtime,
+)
+from repro.engine.stats import ExecutionStats
+
+RUNTIMES = [SerialRuntime(), ParallelRuntime(max_workers=3)]
+RUNTIME_IDS = ["serial", "parallel"]
+
+
+class TestResolveRuntime:
+    def test_none_is_serial(self):
+        assert isinstance(resolve_runtime(None), SerialRuntime)
+
+    def test_serial_spelling(self):
+        assert isinstance(resolve_runtime("serial"), SerialRuntime)
+
+    def test_parallel_spelling(self):
+        runtime = resolve_runtime("parallel")
+        assert isinstance(runtime, ParallelRuntime)
+        assert runtime.max_workers is None
+
+    def test_parallel_with_pool_size(self):
+        runtime = resolve_runtime("parallel:3")
+        assert isinstance(runtime, ParallelRuntime)
+        assert runtime.max_workers == 3
+
+    def test_instance_passes_through(self):
+        runtime = ParallelRuntime(max_workers=2)
+        assert resolve_runtime(runtime) is runtime
+
+    @pytest.mark.parametrize("bad", ["threads", "parallel:x", "parallel:"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            resolve_runtime(bad)
+
+    def test_zero_pool_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRuntime(max_workers=0)
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES, ids=RUNTIME_IDS)
+class TestMapWorkers:
+    def test_values_in_worker_order(self, runtime):
+        stats = ExecutionStats(workers=4)
+        memory = MemoryBudget()
+        values = runtime.map_workers(
+            range(4), lambda w, ledger: w * 10, stats, memory
+        )
+        assert values == [0, 10, 20, 30]
+
+    def test_charges_merge_into_shared_stats(self, runtime):
+        stats = ExecutionStats(workers=3)
+        memory = MemoryBudget()
+
+        def task(worker, ledger):
+            ledger.stats.charge(worker, 5.0 * (worker + 1), "join")
+            ledger.stats.charge(worker, 1.0, "filter")
+
+        runtime.map_workers(range(3), task, stats, memory)
+        assert stats.worker_loads("join") == {0: 5.0, 1: 10.0, 2: 15.0}
+        assert stats.worker_loads("filter") == {0: 1.0, 1: 1.0, 2: 1.0}
+        assert stats.total_cpu == 33.0
+        assert stats.wall_clock == 16.0  # max(join)=15 + max(filter)=1
+
+    def test_memory_commits_back_to_budget(self, runtime):
+        stats = ExecutionStats(workers=2)
+        memory = MemoryBudget()
+        memory.allocate(0, 100, "scan")
+        memory.allocate(1, 100, "scan")
+
+        def task(worker, ledger):
+            ledger.memory.allocate(worker, 50, "join")
+            ledger.stats.record_memory(worker, ledger.memory.resident(worker))
+            ledger.memory.release(worker, 120)  # consumed inputs + scratch
+
+        runtime.map_workers(range(2), task, stats, memory)
+        for worker in range(2):
+            assert memory.resident(worker) == 30
+            assert memory.peak(worker) == 150
+            assert stats.peak_memory[worker] == 150
+
+    def test_empty_worker_set(self, runtime):
+        stats = ExecutionStats()
+        assert runtime.map_workers(
+            [], lambda worker, ledger: worker, stats, MemoryBudget()
+        ) == []
+
+    def test_ledger_isolated_until_commit(self, runtime):
+        """Operators inside a task never touch the shared budget directly."""
+        stats = ExecutionStats(workers=2)
+        memory = MemoryBudget()
+        observed = {}
+
+        def task(worker, ledger):
+            ledger.memory.allocate(worker, 10, "join")
+            # the shared budget must not see the allocation mid-task
+            observed[worker] = memory.resident(worker)
+
+        runtime.map_workers(range(2), task, stats, memory)
+        assert observed == {0: 0, 1: 0}
+        assert memory.resident(0) == 10 and memory.resident(1) == 10
+
+    def test_oom_raised_for_lowest_failing_worker(self, runtime):
+        """Workers 1 and 3 both exceed the budget; the error and the merged
+        state must match a serial execution stopping at worker 1."""
+        stats = ExecutionStats(workers=4)
+        memory = MemoryBudget(per_worker_tuples=100)
+
+        def task(worker, ledger):
+            ledger.stats.charge(worker, 7.0, "join")
+            tuples = 200 if worker in (1, 3) else 10
+            ledger.memory.allocate(worker, tuples, "join")
+
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            runtime.map_workers(range(4), task, stats, memory)
+        assert excinfo.value.worker == 1
+        # workers 0 and 1 committed (1 partially); 2 and 3 discarded
+        assert stats.worker_loads("join") == {0: 7.0, 1: 7.0}
+        assert memory.resident(0) == 10
+        assert memory.resident(2) == 0 and memory.resident(3) == 0
+
+
+class TestSerialParallelEquivalence:
+    def test_identical_merged_state(self):
+        def task(worker, ledger):
+            ledger.stats.charge(worker, 2.5 * worker, "a")
+            ledger.stats.charge(worker, 1.0, "b")
+            ledger.memory.allocate(worker, worker + 1, "a")
+            ledger.stats.record_memory(worker, ledger.memory.resident(worker))
+            return worker * worker
+
+        results = {}
+        for runtime in (SerialRuntime(), ParallelRuntime(max_workers=4)):
+            stats = ExecutionStats(workers=8)
+            memory = MemoryBudget()
+            values = runtime.map_workers(range(8), task, stats, memory)
+            results[runtime.name] = (
+                values,
+                stats.phases(),
+                stats.worker_loads(),
+                stats.peak_memory,
+                [memory.resident(w) for w in range(8)],
+            )
+        assert results["serial"] == results["parallel"]
+
+    def test_contract_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            WorkerRuntime().map_workers(
+                range(1), lambda worker, ledger: worker,
+                ExecutionStats(), MemoryBudget(),
+            )

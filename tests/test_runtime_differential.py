@@ -1,0 +1,101 @@
+"""Differential tests: SerialRuntime and ParallelRuntime are bit-identical.
+
+The parallel runtime must be a pure execution-order change: for every
+strategy and query, result rows come back in the same order and every
+counted metric (CPU charges, wall clock, shuffle volumes, skews, peak
+memory) is exactly equal — no tolerance.  This is what lets benchmarks and
+figures run under either backend interchangeably.
+"""
+
+import pytest
+
+from repro.planner.api import run_query
+from repro.planner.plans import ALL_STRATEGIES
+from repro.query.parser import parse_query
+from repro.storage.generators import twitter_database
+
+TRIANGLE = parse_query(
+    "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)."
+)
+PROJECTION = parse_query("P(x) :- R:Twitter(x,y), S:Twitter(y,x).")
+COMPARISON = parse_query(
+    "C(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), x < z."
+)
+TWO_PATH = parse_query("P(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z).")
+
+QUERIES = {
+    "triangle": TRIANGLE,
+    "projection": PROJECTION,
+    "comparison": COMPARISON,
+}
+
+
+def assert_identical(serial, parallel):
+    """Byte-identical rows and exactly equal counted metrics."""
+    assert serial.rows == parallel.rows  # same rows, same order
+    a, b = serial.stats, parallel.stats
+    assert a.failed == b.failed
+    assert a.failure == b.failure
+    assert a.shuffles == b.shuffles  # tuples sent + both skews, per shuffle
+    assert a.tuples_shuffled == b.tuples_shuffled
+    assert a.total_cpu == b.total_cpu
+    assert a.wall_clock == b.wall_clock
+    assert a.phases() == b.phases()
+    assert a.worker_loads() == b.worker_loads()
+    assert a.peak_memory == b.peak_memory
+    assert a.result_count == b.result_count
+    assert a.cpu_skew == b.cpu_skew
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+@pytest.mark.parametrize("seed", [0, 7, 42])
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_all_strategies_identical_across_runtimes(strategy, seed, query_name):
+    db = twitter_database(nodes=120, edges=500, seed=seed)
+    query = QUERIES[query_name]
+    serial = run_query(query, db, strategy=strategy, workers=6, runtime="serial")
+    parallel = run_query(
+        query, db, strategy=strategy, workers=6, runtime="parallel:3"
+    )
+    assert not serial.failed
+    assert_identical(serial, parallel)
+
+
+@pytest.mark.parametrize("seed", [0, 42])
+def test_semijoin_plan_identical_across_runtimes(seed):
+    db = twitter_database(nodes=120, edges=500, seed=seed)
+    serial = run_query(TWO_PATH, db, strategy="SJ_HJ", workers=6, runtime="serial")
+    parallel = run_query(
+        TWO_PATH, db, strategy="SJ_HJ", workers=6, runtime="parallel"
+    )
+    assert not serial.failed
+    assert_identical(serial, parallel)
+
+
+@pytest.mark.parametrize("workers", [1, 3, 8])
+def test_worker_counts_identical_across_runtimes(workers):
+    db = twitter_database(nodes=120, edges=500, seed=3)
+    serial = run_query(
+        TRIANGLE, db, strategy="HC_TJ", workers=workers, runtime="serial"
+    )
+    parallel = run_query(
+        TRIANGLE, db, strategy="HC_TJ", workers=workers, runtime="parallel"
+    )
+    assert_identical(serial, parallel)
+
+
+def test_oom_failure_identical_across_runtimes():
+    """A budget violation must fail identically: same failing worker, same
+    phase, same partially-accumulated stats."""
+    db = twitter_database(nodes=120, edges=500, seed=1)
+    serial = run_query(
+        TRIANGLE, db, strategy="RS_TJ", workers=4, memory_tuples=400,
+        runtime="serial",
+    )
+    parallel = run_query(
+        TRIANGLE, db, strategy="RS_TJ", workers=4, memory_tuples=400,
+        runtime="parallel:4",
+    )
+    assert serial.failed and parallel.failed
+    assert serial.stats.failure == parallel.stats.failure
+    assert_identical(serial, parallel)

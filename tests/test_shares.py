@@ -1,7 +1,5 @@
 """Tests for fractional HyperCube shares (Beame et al. LP)."""
 
-import math
-
 import pytest
 
 from repro.hypercube.shares import (

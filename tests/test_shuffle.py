@@ -187,6 +187,38 @@ class TestHypercubeShuffle:
         }
         assert found == expected
 
+    def test_consumer_skew_excludes_idle_workers(self):
+        """Regression: an integral configuration using fewer than ``p``
+        workers must compute consumer skew over the *used* workers only.
+        The idle machines receive nothing by construction; counting them
+        diluted the average and inflated every HC skew by p/used."""
+        config = config_from_sizes(TRIANGLE, (5, 4, 3))
+        mapping = HyperCubeMapping(config)
+        workers = 64
+        assert mapping.workers_used == 60 < workers
+        rows = [(i, (i * 7) % 40) for i in range(200)]
+        atom = TRIANGLE.atom_by_alias("R")
+        stats = ExecutionStats()
+        out = hypercube_shuffle(
+            frames_of(rows, variables=atom.variables()),
+            atom,
+            mapping,
+            workers,
+            stats,
+            "t",
+            "p",
+        )
+        received = [len(frame) for frame in out]
+        assert all(count == 0 for count in received[mapping.workers_used:])
+        from repro.engine.stats import skew_factor
+
+        record = stats.shuffles[0]
+        used_skew = skew_factor(received[: mapping.workers_used])
+        inflated_skew = skew_factor(received)  # the old, wrong denominator
+        assert record.consumer_skew == pytest.approx(used_skew)
+        assert record.consumer_skew < inflated_skew
+        assert inflated_skew == pytest.approx(used_skew * workers / 60)
+
     def test_frame_variables_must_match_atom(self):
         config = config_from_sizes(TRIANGLE, (2, 2, 2))
         mapping = HyperCubeMapping(config)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.engine.stats import ExecutionStats, skew_factor
+from repro.engine.stats import ExecutionStats, WorkerStats, skew_factor
 
 
 class TestSkewFactor:
@@ -100,3 +100,54 @@ class TestFailureAndMemory:
         stats = ExecutionStats(query="Q1", strategy="RS_TJ")
         stats.mark_failed("boom")
         assert "FAIL" in stats.summary()
+
+
+class TestWorkerLedger:
+    def test_charges_accumulate_per_phase(self):
+        ledger = WorkerStats(worker=2)
+        ledger.charge(2, 10, "a")
+        ledger.charge(2, 5, "a")
+        ledger.charge(2, 1, "b")
+        assert ledger.phase_loads == {"a": 15.0, "b": 1.0}
+
+    def test_record_memory_keeps_high_water(self):
+        ledger = WorkerStats(worker=0)
+        ledger.record_memory(0, 40)
+        ledger.record_memory(0, 10)
+        assert ledger.peak_memory == 40
+
+    def test_wrong_worker_rejected(self):
+        ledger = WorkerStats(worker=1)
+        with pytest.raises(ValueError):
+            ledger.charge(0, 1, "a")
+        with pytest.raises(ValueError):
+            ledger.record_memory(3, 1)
+
+    def test_merge_equals_direct_charging(self):
+        """Charging through ledgers + merge must be indistinguishable from
+        charging the shared stats directly."""
+        direct = ExecutionStats(workers=3)
+        merged = ExecutionStats(workers=3)
+        for worker in range(3):
+            direct.charge(worker, 10.0 * worker, "join")
+            direct.charge(worker, 2.0, "filter")
+            direct.record_memory(worker, 7 * worker)
+
+            ledger = WorkerStats(worker)
+            ledger.charge(worker, 10.0 * worker, "join")
+            ledger.charge(worker, 2.0, "filter")
+            ledger.record_memory(worker, 7 * worker)
+            merged.merge_worker(ledger)
+        assert merged.phases() == direct.phases()
+        assert merged.worker_loads() == direct.worker_loads()
+        assert merged.peak_memory == direct.peak_memory
+        assert merged.total_cpu == direct.total_cpu
+        assert merged.wall_clock == direct.wall_clock
+
+    def test_merge_keeps_existing_peak(self):
+        stats = ExecutionStats()
+        stats.record_memory(0, 100)
+        ledger = WorkerStats(0)
+        ledger.record_memory(0, 60)
+        stats.merge_worker(ledger)
+        assert stats.peak_memory[0] == 100

@@ -13,7 +13,7 @@ from repro.query.atoms import Variable
 from repro.query.catalog import Catalog
 from repro.query.parser import parse_query
 from repro.storage.generators import twitter_graph
-from repro.storage.relation import Database, Relation
+from repro.storage.relation import Database
 
 X, Y, Z, U = Variable("x"), Variable("y"), Variable("z"), Variable("u")
 
