@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .engine.kernels import KERNEL_BACKENDS, set_backend
 from .experiments.harness import format_figure, run_workload
 from .hypercube.config import optimize_config
 from .hypercube.shares import fractional_shares
@@ -43,6 +44,8 @@ def _dataset(name: str):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.kernels:
+        set_backend(args.kernels)
     database = _dataset(args.dataset)
     result = run_query(
         args.query,
@@ -68,6 +71,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_grid(args: argparse.Namespace) -> int:
+    if args.kernels:
+        set_backend(args.kernels)
     grid = run_workload(
         args.workload,
         scale=args.scale,
@@ -123,6 +128,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--workers", type=int, default=16)
     run_cmd.add_argument("--runtime", default="serial",
                          help="worker runtime: 'serial' or 'parallel[:N]'")
+    run_cmd.add_argument("--kernels", choices=KERNEL_BACKENDS, default=None,
+                         help="kernel backend (default: $REPRO_KERNELS or numpy)")
     run_cmd.add_argument("--show-rows", type=int, default=0,
                          help="print the first N result rows")
     run_cmd.set_defaults(func=_cmd_run)
@@ -133,6 +140,8 @@ def build_parser() -> argparse.ArgumentParser:
     grid_cmd.add_argument("--scale", default="bench", choices=("unit", "bench"))
     grid_cmd.add_argument("--runtime", default="serial",
                           help="worker runtime: 'serial' or 'parallel[:N]'")
+    grid_cmd.add_argument("--kernels", choices=KERNEL_BACKENDS, default=None,
+                          help="kernel backend (default: $REPRO_KERNELS or numpy)")
     grid_cmd.add_argument("--no-memory-budget", action="store_true")
     grid_cmd.set_defaults(func=_cmd_grid)
 

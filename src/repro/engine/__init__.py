@@ -3,6 +3,13 @@
 from .cluster import Cluster
 from .frame import Frame, atom_frame, frame_relation
 from .hash_join import apply_comparisons, join_output_variables, symmetric_hash_join
+from .kernels import (
+    KERNEL_BACKENDS,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
 from .local import dedup_rows, local_tributary_join, scanned_query
 from .memory import MemoryBudget, OutOfMemoryError, WorkerMemoryAccount
 from .runtime import (
@@ -19,6 +26,7 @@ __all__ = [
     "Cluster",
     "ExecutionStats",
     "Frame",
+    "KERNEL_BACKENDS",
     "MemoryBudget",
     "OutOfMemoryError",
     "ParallelRuntime",
@@ -33,13 +41,17 @@ __all__ = [
     "broadcast",
     "dedup_rows",
     "frame_relation",
+    "get_backend",
     "hash_row",
     "hypercube_shuffle",
     "join_output_variables",
     "local_tributary_join",
     "regular_shuffle",
+    "resolve_backend",
     "resolve_runtime",
     "scanned_query",
+    "set_backend",
     "skew_factor",
     "symmetric_hash_join",
+    "use_backend",
 ]

@@ -13,6 +13,7 @@ from typing import Callable, Sequence, Union
 
 from ..query.atoms import Atom, Variable
 from ..storage.relation import Relation
+from . import kernels
 
 Encoder = Callable[[Union[int, str]], int]
 
@@ -62,22 +63,13 @@ def atom_frame(
     """Scan an atom: apply constant selections and repeated-variable filters
     (selection pushdown, paper footnote 3), and relabel columns as the
     atom's variables."""
-    rows = relation.rows
-    for position, constant in atom.constants():
-        value = encoder(constant.value)
-        rows = [row for row in rows if row[position] == value]
+    constant_filters, repeat_groups = kernels.atom_selection(atom, encoder)
+    rows = kernels.filter_atom_rows(relation.rows, constant_filters, repeat_groups)
     variables = atom.variables()
-    for variable in variables:
-        positions = atom.positions_of(variable)
-        if len(positions) > 1:
-            first = positions[0]
-            rows = [
-                row for row in rows if all(row[p] == row[first] for p in positions)
-            ]
     indices = [atom.positions_of(v)[0] for v in variables]
     if indices == list(range(len(relation.columns))) and rows is relation.rows:
         return Frame(variables, list(rows))
-    return Frame(variables, [tuple(row[i] for i in indices) for row in rows])
+    return Frame(variables, kernels.project_rows(rows, indices))
 
 
 def frame_relation(frame: Frame, name: str) -> Relation:

@@ -11,11 +11,11 @@ count against worker memory.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Optional, Sequence
 
 from ..query.atoms import Comparison, Variable
 from .frame import Frame
+from .kernels import hash_join_rows
 from .memory import MemorySink
 from .stats import StatsSink
 
@@ -45,18 +45,12 @@ def symmetric_hash_join(
         i for i, v in enumerate(right.variables) if v not in set(left.variables)
     ]
 
-    table: dict[tuple[int, ...], list[tuple[int, ...]]] = defaultdict(list)
-    for row in left.rows:
-        table[tuple(row[i] for i in left_key)].append(row)
-
-    output_rows: list[tuple[int, ...]] = []
-    for row in right.rows:
-        matches = table.get(tuple(row[i] for i in right_key))
-        if not matches:
-            continue
-        extra = tuple(row[i] for i in right_extra)
-        for left_row in matches:
-            output_rows.append(left_row + extra)
+    # build/probe runs through the kernel layer: the numpy backend encodes
+    # keys columnar and expands match ranges vectorized, with output rows in
+    # the exact order of the tuple-at-a-time build/probe loop
+    output_rows = hash_join_rows(
+        left.rows, right.rows, left_key, right_key, right_extra
+    )
 
     # build units + probe units + output materialization
     work = 2 * (len(left.rows) + len(right.rows)) + len(output_rows)

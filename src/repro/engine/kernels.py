@@ -1,0 +1,615 @@
+"""Vectorized columnar kernels for the engine's per-tuple hot loops.
+
+The simulator's *counted* cost model (tuples shuffled, skews, seeks,
+sort_cost) is what reproduces the paper's figures, but DESIGN.md also
+promises real measured time for the kernels themselves.  This module is the
+seam between the two: every per-tuple loop in the shuffle, sort, and join
+hot paths is expressed as a kernel with two interchangeable backends,
+
+- ``python`` — the original tuple-at-a-time loops, kept verbatim as the
+  reference implementation;
+- ``numpy``  — columnar, vectorized implementations of the same kernels
+  (batched multiplicative hashing, stable argsort partitioning,
+  ``np.lexsort`` sorting, ``np.searchsorted`` seeks, group-by join
+  build/probe).
+
+Backends are *semantics-preserving by construction*: destinations, row
+orders, result rows, and every counted metric are bit-identical between
+them (``tests/test_kernels_differential.py`` proves it across all six
+shuffle x join strategies).  Only wall-clock time differs — that difference
+is what ``benchmarks/bench_kernels.py`` records into ``BENCH_kernels.json``.
+
+Backend selection, in priority order:
+
+1. an explicit ``backend=`` argument on a kernel call,
+2. :func:`set_backend` / the :func:`use_backend` context manager,
+3. the ``REPRO_KERNELS`` environment variable (``python`` or ``numpy``),
+4. the default, ``numpy``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..query.atoms import Atom
+
+Row = tuple[int, ...]
+
+#: the available kernel backends
+KERNEL_BACKENDS = ("python", "numpy")
+
+#: multiplicative-hash constants (Knuth's 2^32 golden-ratio multiplier)
+_KNUTH = 2654435761
+_MASK = 0xFFFFFFFF
+
+_U_KNUTH = np.uint64(_KNUTH)
+_U_MASK = np.uint64(_MASK)
+_U16 = np.uint64(16)
+
+
+def _initial_backend() -> str:
+    choice = os.environ.get("REPRO_KERNELS", "numpy").strip().lower()
+    if choice not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"REPRO_KERNELS={choice!r} is not a kernel backend; "
+            f"use one of {KERNEL_BACKENDS}"
+        )
+    return choice
+
+
+_backend = _initial_backend()
+
+
+def get_backend() -> str:
+    """The currently selected kernel backend."""
+    return _backend
+
+
+def set_backend(name: str) -> None:
+    """Select the kernel backend globally (``python`` or ``numpy``)."""
+    global _backend
+    if name not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; use one of {KERNEL_BACKENDS}"
+        )
+    _backend = name
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """An explicit backend argument, or the global selection."""
+    if backend is None:
+        return _backend
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {backend!r}; use one of {KERNEL_BACKENDS}"
+        )
+    return backend
+
+
+@contextmanager
+def use_backend(name: Optional[str]) -> Iterator[str]:
+    """Temporarily select a kernel backend (``None`` keeps the current one)."""
+    global _backend
+    previous = _backend
+    if name is not None:
+        set_backend(name)
+    try:
+        yield _backend
+    finally:
+        _backend = previous
+
+
+# ----------------------------------------------------------------------
+# Hashing
+# ----------------------------------------------------------------------
+
+
+def hash_row(values: Sequence[int], salt: int = 0) -> int:
+    """Deterministic multiplicative hash of a key tuple (scalar reference)."""
+    mixed = salt
+    for value in values:
+        mixed = ((mixed ^ value) * _KNUTH) & _MASK
+        mixed ^= mixed >> 16
+    return mixed
+
+
+def dim_hash(value: int, salt: int, dim: int) -> int:
+    """One hypercube dimension's hash of a single value (scalar reference)."""
+    if dim == 1:
+        return 0
+    mixed = ((value + salt) * _KNUTH) & _MASK
+    mixed ^= mixed >> 16
+    return mixed % dim
+
+
+def _column(rows: Sequence[Row], position: int, count: int) -> np.ndarray:
+    """One column of a row list as an int64 array."""
+    return np.fromiter((row[position] for row in rows), dtype=np.int64, count=count)
+
+
+def _hash_columns(columns: Sequence[np.ndarray], salt: int, count: int) -> np.ndarray:
+    """Vectorized :func:`hash_row` over parallel key columns.
+
+    Every step re-masks to 32 bits, so 64-bit wraparound in the product
+    never diverges from Python's arbitrary-precision arithmetic: the low 32
+    bits of ``(a * _KNUTH) mod 2**64`` equal those of the exact product.
+    """
+    mixed = np.full(count, np.uint64(salt & _MASK), dtype=np.uint64)
+    for column in columns:
+        mixed = ((mixed ^ column.astype(np.uint64)) * _U_KNUTH) & _U_MASK
+        mixed ^= mixed >> _U16
+    return mixed
+
+
+def hash_rows(
+    rows: Sequence[Row],
+    key_indices: Sequence[int],
+    salt: int = 0,
+    backend: Optional[str] = None,
+) -> list[int]:
+    """Batched :func:`hash_row` of each row's key columns."""
+    if resolve_backend(backend) == "numpy" and rows:
+        n = len(rows)
+        columns = [_column(rows, i, n) for i in key_indices]
+        return [int(h) for h in _hash_columns(columns, salt, n)]
+    return [hash_row([row[i] for i in key_indices], salt) for row in rows]
+
+
+# ----------------------------------------------------------------------
+# Shuffle routing / partitioning
+# ----------------------------------------------------------------------
+
+
+_U32 = np.uint64(32)
+
+
+def _bucketize(
+    rows: Sequence[Row],
+    destinations: np.ndarray,
+    buckets: int,
+    copies: int = 1,
+) -> list[list[Row]]:
+    """Split rows into destination buckets, preserving scan order.
+
+    ``destinations`` is a flat uint64 array of ``len(rows) * copies``
+    destination ids in scan-major order (row ``i``'s copies at positions
+    ``i*copies .. i*copies+copies-1``).  Packs ``(destination, flat index)``
+    into one uint64 so a single non-indirect radix sort replaces a stable
+    argsort; the embedded index keeps the within-bucket order identical to
+    the python backends' append order.
+    """
+    total = destinations.size
+    packed = (destinations << _U32) | np.arange(total, dtype=np.uint64)
+    packed.sort()
+    sources = packed & _U_MASK
+    if copies != 1:
+        sources //= np.uint64(copies)
+    reordered = [rows[i] for i in sources.tolist()]
+    boundaries = np.arange(1, buckets, dtype=np.uint64) << _U32
+    cuts = [0, *np.searchsorted(packed, boundaries).tolist(), total]
+    return [reordered[cuts[b]: cuts[b + 1]] for b in range(buckets)]
+
+
+def shuffle_partition(
+    rows: Sequence[Row],
+    key_indices: Sequence[int],
+    workers: int,
+    salt: int = 0,
+    backend: Optional[str] = None,
+) -> list[list[Row]]:
+    """Hash-partition rows on their key columns into ``workers`` buckets.
+
+    Rows keep their scan order within each bucket (the numpy path's stable
+    partitioning matches the python path's append order exactly).
+    """
+    if resolve_backend(backend) == "numpy" and rows and len(rows) < _MASK:
+        n = len(rows)
+        columns = [_column(rows, i, n) for i in key_indices]
+        destinations = _hash_columns(columns, salt, n) % np.uint64(workers)
+        return _bucketize(rows, destinations, workers)
+    outputs: list[list[Row]] = [[] for _ in range(workers)]
+    for row in rows:
+        destination = hash_row([row[i] for i in key_indices], salt) % workers
+        outputs[destination].append(row)
+    return outputs
+
+
+def hypercube_partition(
+    rows: Sequence[Row],
+    bound: Sequence[tuple[int, int, int, int]],
+    offsets: Sequence[int],
+    workers: int,
+    backend: Optional[str] = None,
+) -> list[list[Row]]:
+    """Route rows to their hypercube coordinates (with replication).
+
+    ``bound`` holds one ``(column, salt, dim, stride)`` entry per hypercube
+    dimension constrained by the atom; ``offsets`` enumerates the
+    replication targets over the unconstrained dimensions (see
+    :meth:`~repro.hypercube.mapping.HyperCubeMapping.frame_routing`).  Each
+    row lands on ``base + offset`` for every offset, where ``base`` is the
+    sum of its bound coordinates' strides.  Within a bucket, rows keep scan
+    order, then offset order — identical for both backends.
+    """
+    copies = len(offsets)
+    if (
+        resolve_backend(backend) == "numpy"
+        and rows
+        and copies
+        and len(rows) * copies < _MASK
+    ):
+        n = len(rows)
+        base = np.zeros(n, dtype=np.uint64)
+        for column, salt, dim, stride in bound:
+            if dim == 1:
+                continue
+            values = _column(rows, column, n).astype(np.uint64)
+            mixed = ((values + np.uint64(salt & _MASK)) * _U_KNUTH) & _U_MASK
+            mixed ^= mixed >> _U16
+            base += (mixed % np.uint64(dim)) * np.uint64(stride)
+        destinations = (
+            base[:, None] + np.asarray(offsets, dtype=np.uint64)[None, :]
+        ).ravel()  # row-major == (scan order, offset order)
+        return _bucketize(rows, destinations, workers, copies=copies)
+    outputs: list[list[Row]] = [[] for _ in range(workers)]
+    for row in rows:
+        base = 0
+        for column, salt, dim, stride in bound:
+            base += dim_hash(row[column], salt, dim) * stride
+        for offset in offsets:
+            outputs[base + offset].append(row)
+    return outputs
+
+
+# ----------------------------------------------------------------------
+# Sorting and sorted-array primitives
+# ----------------------------------------------------------------------
+
+
+def _pack_columns(
+    columns: Sequence[np.ndarray],
+) -> Optional[tuple[np.ndarray, int]]:
+    """Pack parallel key columns into one uint64 whose numeric order is the
+    columns' lexicographic order, or ``None`` when the value ranges do not
+    fit in 64 bits.  A single radix sort of the packed key then replaces a
+    multi-pass ``np.lexsort`` (and packed equality is key-tuple equality).
+
+    Returns the packed keys plus their capacity (the product of the column
+    spans, an exclusive upper bound on the packed values).
+    """
+    if not columns:
+        return None
+    spans: list[tuple[int, int]] = []
+    capacity = 1
+    for column in columns:
+        low = int(column.min())
+        span = int(column.max()) - low + 1
+        capacity *= span
+        if capacity > 2**63:  # conservative headroom below 2**64
+            return None
+        spans.append((low, span))
+    packed = np.zeros(len(columns[0]), dtype=np.uint64)
+    stride = 1
+    for column, (low, span) in zip(reversed(columns), reversed(spans)):
+        packed += (column - low).astype(np.uint64) * np.uint64(stride)
+        stride *= span
+    return packed, capacity
+
+
+def _lex_order(columns: Sequence[np.ndarray]) -> np.ndarray:
+    """Stable lexicographic argsort of parallel columns (primary first)."""
+    packing = _pack_columns(columns)
+    if packing is None:
+        # lexsort's *last* key is the primary one
+        return np.lexsort(tuple(reversed(columns)))
+    packed, capacity = packing
+    n = packed.size
+    if capacity <= 2**63 // max(n, 1):
+        # append the element index as the least-significant digit: the keys
+        # become unique, so a plain (non-indirect) radix sort yields the
+        # stable permutation directly — measurably faster than argsort
+        keyed = packed * np.uint64(n) + np.arange(n, dtype=np.uint64)
+        keyed.sort()
+        return (keyed % np.uint64(n)).astype(np.int64)
+    return np.argsort(packed, kind="stable")
+
+
+def sort_projected(
+    rows: Sequence[Row],
+    positions: Sequence[int],
+    backend: Optional[str] = None,
+) -> tuple[Optional[list[Row]], Optional[np.ndarray]]:
+    """Project rows onto ``positions`` and sort them lexicographically.
+
+    The python backend returns ``(sorted row list, None)``.  The numpy
+    backend stays columnar: it returns ``(None, sorted data)`` as a
+    ``(width, n)`` int64 array with each column contiguous, ready for
+    ``np.searchsorted``-backed seeks; row tuples are only materialized
+    lazily by the caller (see
+    :attr:`~repro.storage.sorted.SortedRelation.rows`).
+    """
+    positions = list(positions)
+    if resolve_backend(backend) == "numpy":
+        n = len(rows)
+        width = len(positions)
+        if n == 0 or width == 0:
+            return None, np.empty((width, n), dtype=np.int64)
+        columns = [_column(rows, p, n) for p in positions]
+        order = _lex_order(columns)
+        sorted_columns = np.empty((width, n), dtype=np.int64)
+        for i, column in enumerate(columns):
+            sorted_columns[i] = column[order]
+        return None, sorted_columns
+    return sorted(tuple(row[p] for p in positions) for row in rows), None
+
+
+def rows_from_columns(columns: np.ndarray) -> list[Row]:
+    """Materialize a ``(width, n)`` column array back into row tuples."""
+    width, count = columns.shape
+    if count == 0:
+        return []
+    if width == 0:
+        return [()] * count
+    return list(zip(*columns.tolist()))
+
+
+def lower_bound(
+    rows: Sequence[Row],
+    depth: int,
+    value: int,
+    lo: int,
+    hi: int,
+    columns: Optional[np.ndarray] = None,
+) -> int:
+    """First index in ``[lo, hi)`` whose ``depth``-th key is ``>= value``.
+
+    Only valid when rows in ``[lo, hi)`` share a common prefix of length
+    ``depth`` (so the ``depth``-th column is non-decreasing there), which
+    the trie iterator guarantees.
+    """
+    if columns is not None:
+        return lo + int(np.searchsorted(columns[depth, lo:hi], value, side="left"))
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if rows[mid][depth] < value:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def upper_bound(
+    rows: Sequence[Row],
+    depth: int,
+    value: int,
+    lo: int,
+    hi: int,
+    columns: Optional[np.ndarray] = None,
+) -> int:
+    """First index in ``[lo, hi)`` whose ``depth``-th key is ``> value``."""
+    if columns is not None:
+        return lo + int(np.searchsorted(columns[depth, lo:hi], value, side="right"))
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if rows[mid][depth] <= value:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def distinct_prefix_count(
+    rows: Sequence[Row],
+    length: int,
+    columns: Optional[np.ndarray] = None,
+) -> int:
+    """Number of distinct key prefixes of the given length over sorted rows."""
+    if not rows:
+        return 0
+    if length == 0:
+        return 1
+    if columns is not None:
+        head = columns[:length]
+        changed = (head[:, 1:] != head[:, :-1]).any(axis=0)
+        return 1 + int(np.count_nonzero(changed))
+    count = 0
+    previous: Optional[Row] = None
+    for row in rows:
+        prefix = row[:length]
+        if prefix != previous:
+            count += 1
+            previous = prefix
+    return count
+
+
+# ----------------------------------------------------------------------
+# Hash-join build/probe
+# ----------------------------------------------------------------------
+
+
+def hash_join_rows(
+    left_rows: Sequence[Row],
+    right_rows: Sequence[Row],
+    left_key: Sequence[int],
+    right_key: Sequence[int],
+    right_extra: Sequence[int],
+    backend: Optional[str] = None,
+) -> list[Row]:
+    """Equi-join two row lists: for each right row (in order), emit
+    ``left_row + right_extra_columns`` for every matching left row in left
+    scan order — the exact output order of the tuple-at-a-time build/probe.
+
+    An empty key joins everything with everything (cross product).
+    """
+    if resolve_backend(backend) == "numpy" and left_rows and right_rows:
+        return _hash_join_numpy(left_rows, right_rows, left_key, right_key, right_extra)
+    table: dict[Row, list[Row]] = {}
+    for row in left_rows:
+        table.setdefault(tuple(row[i] for i in left_key), []).append(row)
+    output: list[Row] = []
+    for row in right_rows:
+        matches = table.get(tuple(row[i] for i in right_key))
+        if not matches:
+            continue
+        extra = tuple(row[i] for i in right_extra)
+        for left_row in matches:
+            output.append(left_row + extra)
+    return output
+
+
+def _encode_join_keys(
+    left_rows: Sequence[Row],
+    right_rows: Sequence[Row],
+    left_key: Sequence[int],
+    right_key: Sequence[int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scalar key ids with exact tuple-equality semantics for both sides."""
+    n_left, n_right = len(left_rows), len(right_rows)
+    if not left_key:  # cross product: a single shared key
+        return (
+            np.zeros(n_left, dtype=np.uint64),
+            np.zeros(n_right, dtype=np.uint64),
+        )
+    merged = [
+        np.concatenate([_column(left_rows, li, n_left), _column(right_rows, ri, n_right)])
+        for li, ri in zip(left_key, right_key)
+    ]
+    packing = _pack_columns(merged)
+    if packing is None:
+        # ranges too wide for 64-bit packing: dense ids via np.unique
+        _, inverse = np.unique(np.stack(merged, axis=1), axis=0, return_inverse=True)
+        packed = inverse.reshape(-1).astype(np.uint64)
+    else:
+        packed = packing[0]
+    return packed[:n_left], packed[n_left:]
+
+
+def _hash_join_numpy(
+    left_rows: Sequence[Row],
+    right_rows: Sequence[Row],
+    left_key: Sequence[int],
+    right_key: Sequence[int],
+    right_extra: Sequence[int],
+) -> list[Row]:
+    n_left, n_right = len(left_rows), len(right_rows)
+    left_ids, right_ids = _encode_join_keys(left_rows, right_rows, left_key, right_key)
+    order = np.argsort(left_ids, kind="stable")  # (key id, left scan order)
+    sorted_ids = left_ids[order]
+    starts = np.searchsorted(sorted_ids, right_ids, side="left")
+    ends = np.searchsorted(sorted_ids, right_ids, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return []
+    if total > 4 * (n_left + n_right):
+        # Output-dominated join: materialization cost rules.  Emitting
+        # ``left_row + extra`` reuses the input rows' boxed ints, while the
+        # columnar gather below would box a fresh int per output cell —
+        # slower than the scalar loop for large outputs.
+        starts_list = starts.tolist()
+        ends_list = ends.tolist()
+        sorted_left = [left_rows[i] for i in order.tolist()]
+        output: list[Row] = []
+        append = output.append
+        for j, row in enumerate(right_rows):
+            lo, hi = starts_list[j], ends_list[j]
+            if lo == hi:
+                continue
+            extra = tuple(row[i] for i in right_extra)
+            for left_row in sorted_left[lo:hi]:
+                append(left_row + extra)
+        return output
+    # expand each right row's [start, end) slice of the sorted left side
+    output_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    flat = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(output_starts, counts)
+        + np.repeat(starts, counts)
+    )
+    left_take = order[flat]
+    right_take = np.repeat(np.arange(n_right, dtype=np.int64), counts)
+    left_width = len(left_rows[0])
+    output_columns = [
+        _column(left_rows, i, n_left)[left_take] for i in range(left_width)
+    ]
+    output_columns.extend(
+        _column(right_rows, i, n_right)[right_take] for i in right_extra
+    )
+    if not output_columns:  # zero-arity join output
+        return [()] * total
+    return list(zip(*(column.tolist() for column in output_columns)))
+
+
+# ----------------------------------------------------------------------
+# Columnar scan filters / projections
+# ----------------------------------------------------------------------
+
+
+def atom_selection(atom: "Atom", encoder) -> tuple[list[tuple[int, int]], list[tuple[int, ...]]]:
+    """An atom's pushed-down scan filters (paper footnote 3), shared by the
+    frame scan (:func:`~repro.engine.frame.atom_frame`) and the Tributary
+    preparation (:func:`~repro.leapfrog.tributary.prepare_atom`).
+
+    Returns ``(constant_filters, repeat_groups)``: encoded ``(position,
+    value)`` constant selections, and the position groups of repeated
+    variables that must be pairwise equal.
+    """
+    constant_filters = [
+        (position, encoder(constant.value)) for position, constant in atom.constants()
+    ]
+    repeat_groups = [
+        atom.positions_of(variable)
+        for variable in atom.variables()
+        if len(atom.positions_of(variable)) > 1
+    ]
+    return constant_filters, repeat_groups
+
+
+def filter_atom_rows(
+    rows: Sequence[Row],
+    constant_filters: Sequence[tuple[int, int]],
+    repeat_groups: Sequence[Sequence[int]],
+    backend: Optional[str] = None,
+):
+    """Apply constant selections and repeated-variable equality filters.
+
+    Returns ``rows`` itself (same object) when there is nothing to filter,
+    so callers can keep zero-copy fast paths; otherwise a new list.
+
+    Deliberately scalar on both backends: scan filters run exactly once per
+    fragment over row-major tuples, so a vectorized mask would first have to
+    convert the filtered columns — and that conversion alone costs more than
+    the plain list comprehension (measured ~2-4x slower at 100k rows).
+    Vectorization pays only where the conversion is amortized over more work
+    (sort, shuffle routing) or the data is already columnar (seeks).  The
+    ``backend`` parameter is accepted for interface uniformity.
+    """
+    if not constant_filters and not repeat_groups:
+        return rows
+    filtered = rows
+    for position, value in constant_filters:
+        filtered = [row for row in filtered if row[position] == value]
+    for positions in repeat_groups:
+        first = positions[0]
+        filtered = [
+            row for row in filtered if all(row[p] == row[first] for p in positions)
+        ]
+    return filtered
+
+
+def project_rows(
+    rows: Sequence[Row],
+    indices: Sequence[int],
+    backend: Optional[str] = None,
+) -> list[Row]:
+    """Gather the given columns of every row (columnar on numpy)."""
+    if resolve_backend(backend) == "numpy" and rows and indices:
+        count = len(rows)
+        columns = [_column(rows, i, count) for i in indices]
+        return list(zip(*(column.tolist() for column in columns)))
+    return [tuple(row[i] for i in indices) for row in rows]

@@ -16,6 +16,11 @@ Every shuffle records tuples sent, producer skew, and consumer skew into
 sent (producer side) and 1 per tuple received (consumer side) — so consumer
 skew translates into wall-clock penalty exactly as the paper observes — and
 registers received tuples against the consumers' memory budget.
+
+Destination routing runs through the kernel layer
+(:mod:`~repro.engine.kernels`): the numpy backend hashes key columns in one
+vectorized batch and partitions via a single radix sort instead of per-row
+appends, with bit-identical destinations and within-bucket order.
 """
 
 from __future__ import annotations
@@ -25,20 +30,16 @@ from typing import Optional, Sequence
 from ..hypercube.mapping import HyperCubeMapping
 from ..query.atoms import Atom, Variable
 from .frame import Frame
+from .kernels import hash_row, hypercube_partition, shuffle_partition
 from .memory import MemoryBudget
 from .stats import ExecutionStats
 
-_KNUTH = 2654435761
-_MASK = 0xFFFFFFFF
-
-
-def hash_row(values: Sequence[int], salt: int = 0) -> int:
-    """Deterministic multiplicative hash of a key tuple."""
-    mixed = salt
-    for value in values:
-        mixed = ((mixed ^ value) * _KNUTH) & _MASK
-        mixed ^= mixed >> 16
-    return mixed
+__all__ = [
+    "broadcast",
+    "hash_row",
+    "hypercube_shuffle",
+    "regular_shuffle",
+]
 
 
 def _charge_shuffle(
@@ -77,12 +78,11 @@ def regular_shuffle(
     outputs: list[list[tuple[int, ...]]] = [[] for _ in range(workers)]
     sent = [0] * len(frames)
     for producer, frame in enumerate(frames):
-        for row in frame.rows:
-            destination = (
-                hash_row([row[i] for i in key_indices], salt) % workers
-            )
-            outputs[destination].append(row)
-            sent[producer] += 1
+        buckets = shuffle_partition(frame.rows, key_indices, workers, salt)
+        for destination, bucket in enumerate(buckets):
+            if bucket:
+                outputs[destination].extend(bucket)
+        sent[producer] = len(frame.rows)
     received = [len(rows) for rows in outputs]
     stats.record_shuffle(name, sent, received)
     _charge_shuffle(stats, phase, sent, received, memory)
@@ -135,25 +135,16 @@ def hypercube_shuffle(
         raise ValueError(
             f"frame variables {variables} do not match atom {atom.alias}"
         )
-    # mapping.destinations expects rows in the atom's own term layout;
-    # build a remapped accessor from frame layout to atom positions.
-    frame_index = {v: i for i, v in enumerate(variables)}
-    atom_layout = [frame_index[v] for v in atom.variables()]
-    # destinations() reads row[position] where position indexes atom terms;
-    # construct pseudo-rows in term order (first occurrence per variable).
-    term_positions = {v: atom.positions_of(v)[0] for v in atom.variables()}
-    width = max(term_positions.values()) + 1
-
+    bound, offsets = mapping.frame_routing(atom, variables)
+    copies = len(offsets)
     outputs: list[list[tuple[int, ...]]] = [[] for _ in range(workers)]
     sent = [0] * len(frames)
     for producer, frame in enumerate(frames):
-        for row in frame.rows:
-            pseudo = [0] * width
-            for variable, layout_index in zip(atom.variables(), atom_layout):
-                pseudo[term_positions[variable]] = row[layout_index]
-            for destination in mapping.destinations(atom, pseudo):
-                outputs[destination].append(row)
-                sent[producer] += 1
+        buckets = hypercube_partition(frame.rows, bound, offsets, workers)
+        for destination, bucket in enumerate(buckets):
+            if bucket:
+                outputs[destination].extend(bucket)
+        sent[producer] = len(frame.rows) * copies
     received = [len(rows) for rows in outputs]
     # idle workers beyond the integral configuration are not consumers
     stats.record_shuffle(name, sent, received[: mapping.workers_used])

@@ -14,10 +14,10 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..query.atoms import Atom
+from ..engine.kernels import dim_hash
+from ..query.atoms import Atom, Variable
 from .config import HyperCubeConfig
 
-_KNUTH = 2654435761
 _MASK = 0xFFFFFFFF
 
 
@@ -44,12 +44,7 @@ class HyperCubeMapping:
         self.workers_used = config.workers_used
 
     def hash_value(self, dim_index: int, value: int) -> int:
-        dim = self.dims[dim_index]
-        if dim == 1:
-            return 0
-        mixed = ((value + self._salts[dim_index]) * _KNUTH) & _MASK
-        mixed ^= mixed >> 16
-        return mixed % dim
+        return dim_hash(value, self._salts[dim_index], self.dims[dim_index])
 
     def worker_of(self, coordinate: Sequence[int]) -> int:
         return sum(c * s for c, s in zip(coordinate, self._strides))
@@ -90,6 +85,41 @@ class HyperCubeMapping:
         ]
         for coordinate in itertools.product(*free_axes):
             yield self.worker_of(coordinate)
+
+    def frame_routing(
+        self, atom: Atom, frame_variables: Sequence[Variable]
+    ) -> tuple[list[tuple[int, int, int, int]], list[int]]:
+        """The atom's routing spec against a frame's column layout, for
+        :func:`~repro.engine.kernels.hypercube_partition`.
+
+        Returns ``(bound, offsets)``: one ``(frame column, salt, dim,
+        stride)`` entry per hypercube dimension whose variable the atom
+        binds, and the worker-id offsets of the replication targets over
+        the unconstrained dimensions, enumerated in the same
+        ``itertools.product`` order as :meth:`destinations` so both routing
+        paths emit copies in the same order.
+        """
+        frame_index = {variable: i for i, variable in enumerate(frame_variables)}
+        bound: list[tuple[int, int, int, int]] = []
+        constrained: set[int] = set()
+        for dim_index, variable in enumerate(self.order):
+            if atom.positions_of(variable):
+                bound.append((
+                    frame_index[variable],
+                    self._salts[dim_index],
+                    self.dims[dim_index],
+                    self._strides[dim_index],
+                ))
+                constrained.add(dim_index)
+        free_axes = [
+            (0,) if dim_index in constrained else range(dim)
+            for dim_index, dim in enumerate(self.dims)
+        ]
+        offsets = [
+            sum(c * s for c, s in zip(coordinate, self._strides))
+            for coordinate in itertools.product(*free_axes)
+        ]
+        return bound, offsets
 
     def destination_count(self) -> int:
         return self.workers_used

@@ -68,7 +68,7 @@ class TrieIterator:
             raise RuntimeError("cannot open an empty range")
         depth = self.depth
         block_end = self.relation.upper_bound(
-            depth, self.relation.rows[lo][depth], lo, hi
+            depth, self.relation.key_at(depth, lo), lo, hi
         )
         self.seeks += 1
         self._levels.append(_Level(lo=lo, hi=hi, position=lo, block_end=block_end))
@@ -86,7 +86,7 @@ class TrieIterator:
         if not self._levels or self.at_end:
             raise RuntimeError("no current key")
         level = self._levels[-1]
-        return self.relation.rows[level.position][len(self._levels) - 1]
+        return self.relation.key_at(len(self._levels) - 1, level.position)
 
     def next(self) -> None:
         """Advance to the next distinct key at this level."""
@@ -97,7 +97,7 @@ class TrieIterator:
             self.at_end = True
             return
         level.block_end = self.relation.upper_bound(
-            depth, self.relation.rows[level.position][depth], level.position, level.hi
+            depth, self.relation.key_at(depth, level.position), level.position, level.hi
         )
         self.seeks += 1
 
@@ -113,7 +113,7 @@ class TrieIterator:
             return
         level.position = position
         level.block_end = self.relation.upper_bound(
-            depth, self.relation.rows[position][depth], position, level.hi
+            depth, self.relation.key_at(depth, position), position, level.hi
         )
         self.seeks += 1
 

@@ -91,16 +91,13 @@ def prepare_atom(
     build the chosen LFTJ backend over it (sorted array or B-tree)."""
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; use one of {BACKENDS}")
-    filtered = relation
-    for position, constant in atom.constants():
-        filtered = filtered.select(position, encoder(constant.value))
-    for variable in atom.variables():
-        positions = atom.positions_of(variable)
-        if len(positions) > 1:
-            first = positions[0]
-            filtered = filtered.filter(
-                lambda row, ps=positions, f=first: all(row[p] == row[f] for p in ps)
-            )
+    # function-local import: ``engine`` imports this module, so a top-level
+    # import of the kernel layer would be circular
+    from ..engine.kernels import atom_selection, filter_atom_rows
+
+    constant_filters, repeat_groups = atom_selection(atom, encoder)
+    rows = filter_atom_rows(relation.rows, constant_filters, repeat_groups)
+    filtered = relation if rows is relation.rows else relation.with_rows(rows)
     key_variables = tuple(v for v in order if v in atom.variables())
     if set(key_variables) != set(atom.variables()):
         missing = set(atom.variables()) - set(key_variables)
@@ -200,8 +197,13 @@ class TributaryJoin:
         if any(p.size == 0 for p in self._prepared):
             return
         binding = [0] * len(self.order)
-        yield from self._join(0, binding)
-        self.stats.seeks = sum(p.iterator.seeks for p in self._prepared)
+        try:
+            yield from self._join(0, binding)
+        finally:
+            # runs on generator close too, so partially-consumed iterations
+            # (max_seeks aborts, early-stopping consumers) still record the
+            # seeks performed so far
+            self.stats.seeks = self.total_seeks()
 
     def _join(self, depth: int, binding: list[int]) -> Iterator[tuple[int, ...]]:
         participants = self._atoms_at_depth[depth]

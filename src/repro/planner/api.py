@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 from ..engine.cluster import Cluster
+from ..engine.kernels import use_backend
 from ..engine.memory import MemoryBudget
 from ..engine.runtime import RuntimeLike
 from ..query.atoms import ConjunctiveQuery, Variable
@@ -51,22 +52,31 @@ def run_query(
     memory_tuples: Optional[int] = None,
     variable_order: Optional[Sequence[Variable]] = None,
     runtime: RuntimeLike = None,
+    kernels: Optional[str] = None,
 ) -> ExecutionResult:
     """Parse (if needed), plan, and execute a query on a fresh cluster.
 
     ``strategy`` is one of RS_HJ, RS_TJ, BR_HJ, BR_TJ, HC_HJ, HC_TJ, or
     ``"SJ_HJ"`` for the semijoin-reduction plan on acyclic queries.
     ``runtime`` is ``"serial"`` (default), ``"parallel[:N]"``, or a
-    :class:`~repro.engine.runtime.WorkerRuntime` instance.
+    :class:`~repro.engine.runtime.WorkerRuntime` instance.  ``kernels``
+    pins the kernel backend (``"python"``/``"numpy"``) for this call;
+    ``None`` keeps the process default (``REPRO_KERNELS``).
     """
     parsed = _as_query(query)
     cluster = make_cluster(database, workers=workers, memory_tuples=memory_tuples)
     if isinstance(strategy, str) and strategy == "SJ_HJ":
-        return execute_semijoin(parsed, cluster, runtime=runtime)
+        with use_backend(kernels):
+            return execute_semijoin(parsed, cluster, runtime=runtime)
     if isinstance(strategy, str):
         strategy = Strategy.parse(strategy)
     return execute(
-        parsed, cluster, strategy, variable_order=variable_order, runtime=runtime
+        parsed,
+        cluster,
+        strategy,
+        variable_order=variable_order,
+        runtime=runtime,
+        kernels=kernels,
     )
 
 
@@ -76,11 +86,14 @@ def run_all_strategies(
     workers: int = 64,
     memory_tuples: Optional[int] = None,
     runtime: RuntimeLike = None,
+    kernels: Optional[str] = None,
 ) -> dict[str, ExecutionResult]:
     """Run a query under all six configurations (the paper's Figs. 3-17)."""
     parsed = _as_query(query)
     results = {}
     for strategy in ALL_STRATEGIES:
         cluster = make_cluster(database, workers=workers, memory_tuples=memory_tuples)
-        results[strategy.name] = execute(parsed, cluster, strategy, runtime=runtime)
+        results[strategy.name] = execute(
+            parsed, cluster, strategy, runtime=runtime, kernels=kernels
+        )
     return results

@@ -48,6 +48,7 @@ from typing import Mapping, Optional, Sequence
 from ..engine.cluster import Cluster
 from ..engine.frame import Frame, atom_frame
 from ..engine.hash_join import apply_comparisons, symmetric_hash_join
+from ..engine.kernels import use_backend
 from ..engine.local import local_tributary_join, scanned_query
 from ..engine.memory import MemorySink, OutOfMemoryError
 from ..engine.runtime import RuntimeLike, WorkerRuntime, resolve_runtime
@@ -171,14 +172,17 @@ def execute(
     plan: Optional[LeftDeepPlan] = None,
     hc_seed: int = 0,
     runtime: RuntimeLike = None,
+    kernels: Optional[str] = None,
 ) -> ExecutionResult:
     """Run ``query`` on ``cluster`` with the given strategy.
 
     ``runtime`` selects how the per-worker local-join phases execute:
     ``"serial"`` (default), ``"parallel"``/``"parallel:N"``, or a
-    :class:`~repro.engine.runtime.WorkerRuntime` instance.  Result rows and
-    counted metrics are identical across runtimes; only the real
-    ``elapsed_seconds`` depends on available cores.
+    :class:`~repro.engine.runtime.WorkerRuntime` instance.  ``kernels``
+    pins the kernel backend (``"python"``/``"numpy"``) for this execution;
+    ``None`` keeps the process-wide default (``REPRO_KERNELS``).  Result
+    rows and counted metrics are identical across runtimes and kernel
+    backends; only the real ``elapsed_seconds`` depends on them.
     """
     if cluster.database is None:
         raise RuntimeError("cluster has no loaded database; call cluster.load()")
@@ -191,34 +195,35 @@ def execute(
     started = time.perf_counter()
     result = ExecutionResult(rows=[], stats=stats)
     try:
-        if strategy.shuffle is ShuffleKind.REGULAR:
-            result = _execute_regular(
-                query, cluster, strategy, catalog, plan, stats, worker_runtime
-            )
-        elif strategy.shuffle is ShuffleKind.BROADCAST:
-            result = _execute_broadcast(
-                query,
-                cluster,
-                strategy,
-                catalog,
-                plan,
-                variable_order,
-                stats,
-                worker_runtime,
-            )
-        else:
-            result = _execute_hypercube(
-                query,
-                cluster,
-                strategy,
-                catalog,
-                plan,
-                hc_config,
-                variable_order,
-                hc_seed,
-                stats,
-                worker_runtime,
-            )
+        with use_backend(kernels):
+            if strategy.shuffle is ShuffleKind.REGULAR:
+                result = _execute_regular(
+                    query, cluster, strategy, catalog, plan, stats, worker_runtime
+                )
+            elif strategy.shuffle is ShuffleKind.BROADCAST:
+                result = _execute_broadcast(
+                    query,
+                    cluster,
+                    strategy,
+                    catalog,
+                    plan,
+                    variable_order,
+                    stats,
+                    worker_runtime,
+                )
+            else:
+                result = _execute_hypercube(
+                    query,
+                    cluster,
+                    strategy,
+                    catalog,
+                    plan,
+                    hc_config,
+                    variable_order,
+                    hc_seed,
+                    stats,
+                    worker_runtime,
+                )
     except OutOfMemoryError as oom:
         stats.mark_failed(str(oom))
         result = ExecutionResult(rows=[], stats=stats)

@@ -78,6 +78,16 @@ class Relation:
     def distinct(self) -> "Relation":
         return Relation(self.name, self.columns, dict.fromkeys(self._rows))
 
+    def with_rows(self, rows: list[tuple[int, ...]]) -> "Relation":
+        """Same schema over a subset of this relation's rows.
+
+        Skips arity validation — the rows must come from this relation (e.g.
+        a scan filter's output), where they were already validated.
+        """
+        relation = Relation(self.name, self.columns, ())
+        relation._rows = rows
+        return relation
+
     def renamed(self, name: str) -> "Relation":
         relation = Relation(name, self.columns, ())
         relation._rows = self._rows  # share the row storage; rows are immutable

@@ -1,0 +1,141 @@
+"""Differential tests: python and numpy kernel backends are bit-identical.
+
+The kernel layer must be a pure wall-clock change: for every strategy and
+query, result rows come back in the same order and every counted metric —
+tuples sent, producer/consumer skew per shuffle, seeks, sort_cost, CPU
+charges, wall clock, peak memory — is exactly equal, no tolerance.  This is
+the invariant that lets the paper's figures be reproduced under either
+backend interchangeably.
+"""
+
+import pytest
+
+from repro.engine.kernels import use_backend
+from repro.leapfrog.tributary import SeekBudgetExceeded, TributaryJoin
+from repro.planner.api import run_query
+from repro.planner.plans import ALL_STRATEGIES
+from repro.query.parser import parse_query
+from repro.storage.generators import twitter_database
+from repro.storage.relation import Relation
+
+TRIANGLE = parse_query(
+    "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)."
+)
+PROJECTION = parse_query("P(x) :- R:Twitter(x,y), S:Twitter(y,x).")
+COMPARISON = parse_query(
+    "C(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), x < z."
+)
+TWO_PATH = parse_query("P(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z).")
+
+QUERIES = {
+    "triangle": TRIANGLE,
+    "projection": PROJECTION,
+    "comparison": COMPARISON,
+}
+
+
+def assert_identical(reference, candidate):
+    """Byte-identical rows and exactly equal counted metrics."""
+    assert reference.rows == candidate.rows  # same rows, same order
+    a, b = reference.stats, candidate.stats
+    assert a.failed == b.failed
+    assert a.failure == b.failure
+    assert a.shuffles == b.shuffles  # tuples sent + both skews, per shuffle
+    assert a.tuples_shuffled == b.tuples_shuffled
+    assert a.total_cpu == b.total_cpu  # includes seeks and sort_cost charges
+    assert a.wall_clock == b.wall_clock
+    assert a.phases() == b.phases()
+    assert a.worker_loads() == b.worker_loads()
+    assert a.peak_memory == b.peak_memory
+    assert a.result_count == b.result_count
+    assert a.cpu_skew == b.cpu_skew
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+@pytest.mark.parametrize("seed", [0, 42])
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_all_strategies_identical_across_kernel_backends(
+    strategy, seed, query_name
+):
+    db = twitter_database(nodes=120, edges=500, seed=seed)
+    query = QUERIES[query_name]
+    python = run_query(query, db, strategy=strategy, workers=6, kernels="python")
+    numpy = run_query(query, db, strategy=strategy, workers=6, kernels="numpy")
+    assert not python.failed
+    assert_identical(python, numpy)
+
+
+@pytest.mark.parametrize("seed", [0, 42])
+def test_semijoin_plan_identical_across_kernel_backends(seed):
+    db = twitter_database(nodes=120, edges=500, seed=seed)
+    python = run_query(TWO_PATH, db, strategy="SJ_HJ", workers=6, kernels="python")
+    numpy = run_query(TWO_PATH, db, strategy="SJ_HJ", workers=6, kernels="numpy")
+    assert not python.failed
+    assert_identical(python, numpy)
+
+
+def test_oom_failure_identical_across_kernel_backends():
+    """A budget violation must fail identically: same failing worker, same
+    phase, same partially-accumulated stats."""
+    db = twitter_database(nodes=120, edges=500, seed=1)
+    python = run_query(
+        TRIANGLE, db, strategy="RS_TJ", workers=4, memory_tuples=400,
+        kernels="python",
+    )
+    numpy = run_query(
+        TRIANGLE, db, strategy="RS_TJ", workers=4, memory_tuples=400,
+        kernels="numpy",
+    )
+    assert python.failed and numpy.failed
+    assert_identical(python, numpy)
+
+
+def test_kernels_compose_with_parallel_runtime():
+    db = twitter_database(nodes=120, edges=500, seed=7)
+    python = run_query(
+        TRIANGLE, db, strategy="HC_TJ", workers=6, runtime="parallel:3",
+        kernels="python",
+    )
+    numpy = run_query(
+        TRIANGLE, db, strategy="HC_TJ", workers=6, runtime="parallel:3",
+        kernels="numpy",
+    )
+    assert_identical(python, numpy)
+
+
+# ----------------------------------------------------------------------
+# Seek accounting on partially-consumed iterations
+# ----------------------------------------------------------------------
+
+
+def _triangle_join(max_seeks=None):
+    query = parse_query("Q(x,y,z) :- R(x,y), S(y,z), T(z,x).")
+    # +5 steps mod 15 close triangles (5+5+5 = 15); +1 edges add seek noise
+    rows = [(i, (i + 1) % 15) for i in range(15)] + [(i, (i + 5) % 15) for i in range(15)]
+    relation = Relation("R", ("a", "b"), rows)
+    return TributaryJoin(
+        query,
+        {"R": relation, "S": relation.renamed("S"), "T": relation.renamed("T")},
+        max_seeks=max_seeks,
+    )
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_partial_iteration_records_seeks(backend):
+    with use_backend(backend):
+        exhausted = _triangle_join()
+        list(exhausted.iterate())
+
+        partial = _triangle_join()
+        iterator = partial.iterate()
+        next(iterator)  # consume a single result, then abandon the generator
+        iterator.close()
+    assert partial.stats.seeks > 0
+    assert partial.stats.seeks < exhausted.stats.seeks
+
+
+def test_seek_budget_abort_records_seeks():
+    join = _triangle_join(max_seeks=10)
+    with pytest.raises(SeekBudgetExceeded):
+        list(join.iterate())
+    assert join.stats.seeks > 10  # the overshooting count is recorded
