@@ -45,10 +45,14 @@ from .leapfrog import TributaryJoin, best_join_order, estimate_order_cost
 from .planner import (
     ALL_STRATEGIES,
     ExecutionResult,
+    PhysicalPlan,
     Strategy,
     execute,
+    execute_physical,
     execute_semijoin,
     explain,
+    explain_analyze,
+    lower,
     make_cluster,
     run_all_strategies,
     run_query,
@@ -78,6 +82,7 @@ __all__ = [
     "MemoryBudget",
     "OutOfMemoryError",
     "ParallelRuntime",
+    "PhysicalPlan",
     "Relation",
     "SerialRuntime",
     "SortedRelation",
@@ -87,10 +92,13 @@ __all__ = [
     "best_join_order",
     "estimate_order_cost",
     "execute",
+    "execute_physical",
     "execute_semijoin",
     "explain",
+    "explain_analyze",
     "fractional_shares",
     "freebase_database",
+    "lower",
     "make_cluster",
     "optimize_config",
     "parse_query",

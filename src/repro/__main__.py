@@ -3,6 +3,9 @@
 Commands
 --------
 run       Execute a Datalog query on a built-in dataset under one strategy.
+explain   Show the optimizer's decisions and the lowered physical plan;
+          with ``--analyze``, execute it and annotate every operator with
+          its counted metrics (EXPLAIN ANALYZE).
 grid      Run one of the paper's workloads (Q1..Q8) under all six
           configurations and print the paper-style figure.
 config    Show the fractional shares and the Algorithm-1 integral
@@ -15,6 +18,8 @@ Examples
 
     python -m repro run "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)." \
         --dataset twitter --strategy HC_TJ --workers 16
+    python -m repro explain "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)." \
+        --dataset twitter --workers 16 --analyze --strategy RS_HJ
     python -m repro grid Q1 --workers 16 --scale unit
     python -m repro config Q2 --workers 15
 """
@@ -29,6 +34,7 @@ from .experiments.harness import format_figure, run_workload
 from .hypercube.config import optimize_config
 from .hypercube.shares import fractional_shares
 from .planner.api import run_query
+from .planner.explain import explain, explain_analyze
 from .query.catalog import cardinalities_for
 from .query.parser import parse_query
 from .storage.generators import freebase_database, twitter_database
@@ -62,11 +68,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"tuples shuffled: {stats.tuples_shuffled:,}")
     print(f"wall clock:      {stats.wall_clock:,.0f} work units")
     print(f"total CPU:       {stats.total_cpu:,.0f} work units")
+    peak = max(stats.peak_memory.values(), default=0)
+    print(f"peak memory:     {peak:,} tuples (fullest worker)")
     if result.hc_config is not None:
         print(f"hypercube:       {result.hc_config}")
+    print("phases:")
+    for phase in stats.phases():
+        print(
+            f"  {phase:<24} wall {stats.phase_wall(phase):>12,.0f}  "
+            f"cpu {stats.phase_cpu(phase):>12,.0f}"
+        )
     if args.show_rows:
         for row in result.rows[: args.show_rows]:
             print("  ", row)
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    database = _dataset(args.dataset)
+    if args.analyze:
+        analyzed = explain_analyze(
+            args.query,
+            database,
+            strategy=args.strategy,
+            workers=args.workers,
+            runtime=args.runtime,
+            kernels=args.kernels,
+        )
+        print(analyzed.render())
+        return 1 if analyzed.result.failed else 0
+    explanation = explain(
+        args.query, database, workers=args.workers, strategy=args.strategy
+    )
+    print(explanation.render())
     return 0
 
 
@@ -133,6 +167,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--show-rows", type=int, default=0,
                          help="print the first N result rows")
     run_cmd.set_defaults(func=_cmd_run)
+
+    explain_cmd = commands.add_parser(
+        "explain", help="show the plan; --analyze to execute and annotate it"
+    )
+    explain_cmd.add_argument("query", help="Datalog rule text")
+    explain_cmd.add_argument("--dataset", default="twitter",
+                             choices=("twitter", "freebase"))
+    explain_cmd.add_argument("--workers", type=int, default=16)
+    explain_cmd.add_argument("--strategy", default="HC_TJ",
+                             help="RS/BR/HC x HJ/TJ grid name or SJ_HJ")
+    explain_cmd.add_argument("--analyze", action="store_true",
+                             help="execute the plan and annotate each "
+                                  "operator with its counted metrics")
+    explain_cmd.add_argument("--runtime", default="serial",
+                             help="worker runtime: 'serial' or 'parallel[:N]'")
+    explain_cmd.add_argument("--kernels", choices=KERNEL_BACKENDS, default=None,
+                             help="kernel backend (default: $REPRO_KERNELS or numpy)")
+    explain_cmd.set_defaults(func=_cmd_explain)
 
     grid_cmd = commands.add_parser("grid", help="run a workload's 6-config grid")
     grid_cmd.add_argument("workload", choices=sorted(WORKLOADS))

@@ -19,6 +19,7 @@ from .runtime import (
     WorkerRuntime,
     resolve_runtime,
 )
+from .scheduler import OperatorTrace, ScheduledRun, run_plan
 from .shuffle import broadcast, hash_row, hypercube_shuffle, regular_shuffle
 from .stats import ExecutionStats, ShuffleRecord, WorkerStats, skew_factor
 
@@ -28,8 +29,10 @@ __all__ = [
     "Frame",
     "KERNEL_BACKENDS",
     "MemoryBudget",
+    "OperatorTrace",
     "OutOfMemoryError",
     "ParallelRuntime",
+    "ScheduledRun",
     "SerialRuntime",
     "ShuffleRecord",
     "WorkerLedger",
@@ -49,6 +52,7 @@ __all__ = [
     "regular_shuffle",
     "resolve_backend",
     "resolve_runtime",
+    "run_plan",
     "scanned_query",
     "set_backend",
     "skew_factor",

@@ -1,0 +1,434 @@
+"""The operator scheduler: one interpreter for every physical plan.
+
+Where :mod:`~repro.planner.physical` makes the paper's strategies *data*,
+this module makes their execution *one* loop: walk a
+:class:`~repro.planner.physical.PhysicalPlan` round by round, run each
+round's global operators (scans, exchanges, configuration) on the driver,
+then fuse the round's local operators into a single worker task dispatched
+through the pluggable worker runtime (:mod:`~repro.engine.runtime`).  Each
+worker task charges an isolated :class:`~repro.engine.runtime.WorkerLedger`
+merged back in worker-id order, so serial and parallel runtimes produce
+identical counted metrics — exactly the contract the hand-written
+per-strategy loops upheld, now enforced in one place.
+
+The scheduler reproduces the historical executor's metric stream
+byte-for-byte: the same shuffle record order, the same phase insertion
+order, the same memory registration/release points (scans register
+residency, exchanges stream their input out before receive buffers fill,
+joins release consumed inputs and filter-dropped rows), and the same
+:class:`~repro.engine.memory.OutOfMemoryError` propagation — the
+differential suite pins all of it against golden seed-executor captures.
+
+Alongside execution the scheduler appends one :class:`OperatorTrace` per
+operator into a caller-supplied list — tuples in/out, the index of the
+shuffle record an exchange produced, whether a broadcast was skipped as the
+anchor.  Traces are appended as operators complete, so a failed (OOM) run
+leaves a truthful partial trace; the EXPLAIN ANALYZE layer
+(:mod:`~repro.planner.explain`) joins traces with
+:class:`~repro.engine.stats.ExecutionStats` phases to annotate the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..hypercube.config import HyperCubeConfig, optimize_config
+from ..hypercube.mapping import HyperCubeMapping
+from ..query.atoms import Atom, ConjunctiveQuery
+from .cluster import Cluster
+from .frame import Frame, atom_frame
+from .hash_join import apply_comparisons, symmetric_hash_join
+from .local import local_tributary_join
+from .runtime import WorkerLedger, WorkerRuntime
+from .shuffle import broadcast, hypercube_shuffle, regular_shuffle
+from .stats import ExecutionStats
+
+__all__ = ["OperatorTrace", "ScheduledRun", "run_plan"]
+
+#: a slot's per-worker payload: frames (most operators) or raw result rows
+#: (the Tributary join emits projected head rows directly)
+SlotValue = Union[Frame, list]
+
+
+@dataclass
+class OperatorTrace:
+    """What one operator actually did, recorded as the scheduler ran it.
+
+    ``tuples_in``/``tuples_out`` are summed over workers; ``shuffle_index``
+    points into ``ExecutionStats.shuffles`` for exchanges; ``skipped`` marks
+    broadcast exchanges elided because their input is the anchor."""
+
+    round_index: int
+    op_index: int
+    op: "PhysicalOp"
+    tuples_in: int = 0
+    tuples_out: int = 0
+    shuffle_index: Optional[int] = None
+    skipped: bool = False
+
+
+@dataclass
+class ScheduledRun:
+    """Everything a plan execution produced beyond the stats it filled in."""
+
+    rows: list
+    hc_config: Optional[HyperCubeConfig] = None
+    anchor: Optional[str] = None
+    trace: Optional[list[OperatorTrace]] = None
+
+
+def _binary_merge_join(
+    left: Frame,
+    right: Frame,
+    join_vars,
+    worker: int,
+    ledger: WorkerLedger,
+    step: int,
+) -> Frame:
+    """Binary Tributary join == sort-merge join: build a 2-atom query over
+    the two frames and run the multiway machinery on it."""
+    left_atom = Atom("L", left.variables, alias="L")
+    right_atom = Atom("R", right.variables, alias="R")
+    out_vars = tuple(left.variables) + tuple(
+        v for v in right.variables if v not in set(left.variables)
+    )
+    two_way = ConjunctiveQuery(
+        name="merge", head=out_vars, atoms=(left_atom, right_atom)
+    )
+    order = tuple(join_vars) + tuple(v for v in out_vars if v not in set(join_vars))
+    rows = local_tributary_join(
+        two_way,
+        {"L": left, "R": right},
+        worker,
+        ledger.stats,
+        order=order,
+        sort_phase=f"step{step}:sort",
+        join_phase=f"step{step}:join",
+        memory=ledger.memory,
+    )
+    return Frame(out_vars, rows)
+
+
+def _run_local_op(
+    op: PhysicalOp,
+    worker: int,
+    ledger: WorkerLedger,
+    read,
+    write,
+) -> None:
+    """Execute one local operator against a worker's slot views."""
+    if isinstance(op, (LocalHashJoin, MergeJoinStep)):
+        left, right = read(op.left), read(op.right)
+        if isinstance(op, LocalHashJoin):
+            out = symmetric_hash_join(
+                left,
+                right,
+                op.join_vars,
+                worker,
+                ledger.stats,
+                f"step{op.step}:join",
+                ledger.memory,
+            )
+        else:
+            out = _binary_merge_join(
+                left, right, op.join_vars, worker, ledger, op.step
+            )
+        produced = len(out.rows)
+        # every worker filters against the full pending list; the deferred
+        # remainder is statically known and the same for all of them
+        out, _ = apply_comparisons(
+            out, list(op.pending), worker, ledger.stats, f"step{op.step}:filter"
+        )
+        # consumed inputs and filter-dropped rows leave worker memory
+        dropped = produced - len(out.rows)
+        if dropped:
+            ledger.memory.release(worker, dropped)
+        consumed = len(left) + len(right)
+        if consumed:
+            ledger.memory.release(worker, consumed)
+        write(op.out, out)
+    elif isinstance(op, LocalTributaryJoin):
+        frames_of_worker = {alias: read(slot) for alias, slot in op.inputs}
+        rows = local_tributary_join(
+            op.query,
+            frames_of_worker,
+            worker,
+            ledger.stats,
+            order=op.order,
+            memory=ledger.memory,
+        )
+        consumed = sum(len(f) for f in frames_of_worker.values())
+        if consumed:
+            ledger.memory.release(worker, consumed)
+        write(op.out, rows)
+    elif isinstance(op, SemiJoinFilter):
+        target, key_frame = read(op.target), read(op.keys)
+        keys = set(key_frame.rows)
+        indices = target.indices_of(op.key)
+        kept = [
+            row
+            for row in target.rows
+            if tuple(row[i] for i in indices) in keys
+        ]
+        ledger.stats.charge(worker, len(target.rows) + len(keys), op.phase)
+        # the key buffer and the filtered-out target rows leave memory
+        released = len(key_frame.rows) + (len(target.rows) - len(kept))
+        if released:
+            ledger.memory.release(worker, released)
+        write(op.out, Frame(target.variables, kept))
+    else:  # pragma: no cover - lowering only emits the ops above
+        raise TypeError(f"unknown local operator {op!r}")
+
+
+def _scanned_sizes(slots: dict, aliases) -> dict[str, int]:
+    """Exact post-selection cardinality per atom alias."""
+    return {
+        alias: max(1, sum(len(f) for f in slots[alias]))
+        for alias in aliases
+    }
+
+
+def run_plan(
+    plan: PhysicalPlan,
+    cluster: Cluster,
+    stats: ExecutionStats,
+    runtime: WorkerRuntime,
+    trace: Optional[list[OperatorTrace]] = None,
+) -> ScheduledRun:
+    """Execute a physical plan on a loaded cluster.
+
+    Fills ``stats`` with the plan's counted metrics, appends an
+    :class:`OperatorTrace` per operator into ``trace`` (when given) as each
+    completes, and returns the finalized result rows plus the run-time
+    bindings (HyperCube configuration, broadcast anchor).
+    :class:`~repro.engine.memory.OutOfMemoryError` propagates to the caller
+    with ``stats`` and ``trace`` reflecting the partial execution.
+    """
+    encoder = cluster.encoder()
+    workers = cluster.workers
+    slots: dict[str, list[SlotValue]] = {}
+    hc_config: Optional[HyperCubeConfig] = None
+    mapping: Optional[HyperCubeMapping] = None
+    anchor: Optional[str] = None
+
+    def record(entry: OperatorTrace) -> None:
+        if trace is not None:
+            trace.append(entry)
+
+    def slot_tuples(name: str) -> int:
+        return sum(len(value) for value in slots[name])
+
+    for round_index, round_ in enumerate(plan.rounds):
+        for op_index, op in enumerate(round_.ops):
+            if not op.GLOBAL:
+                continue
+            if isinstance(op, Scan):
+                per_worker: list[Frame] = []
+                for worker in range(workers):
+                    relation = cluster.fragment_relation(op.atom.relation, worker)
+                    frame = atom_frame(op.atom, relation, encoder)
+                    for comparison in op.filters:
+                        index = {v: i for i, v in enumerate(frame.variables)}
+                        frame = Frame(
+                            frame.variables,
+                            [
+                                row
+                                for row in frame.rows
+                                if comparison.evaluate(
+                                    {v: row[i] for v, i in index.items()}
+                                )
+                            ],
+                        )
+                    per_worker.append(frame)
+                slots[op.out] = per_worker
+                for worker, frame in enumerate(per_worker):
+                    if len(frame):
+                        cluster.memory.allocate(worker, len(frame), "scan")
+                        stats.record_memory(worker, cluster.memory.resident(worker))
+                record(
+                    OperatorTrace(
+                        round_index, op_index, op,
+                        tuples_out=slot_tuples(op.out),
+                    )
+                )
+            elif isinstance(op, ChooseAnchor):
+                sizes = _scanned_sizes(slots, op.aliases)
+                anchor = max(sizes, key=lambda alias: sizes[alias])
+                record(OperatorTrace(round_index, op_index, op))
+            elif isinstance(op, ConfigureHyperCube):
+                sizes = _scanned_sizes(slots, op.aliases)
+                hc_config = op.config or optimize_config(
+                    plan.query, sizes, workers
+                )
+                mapping = HyperCubeMapping(hc_config, seed=op.seed)
+                record(OperatorTrace(round_index, op_index, op))
+            elif isinstance(op, Exchange):
+                frames = slots[op.input]
+                if op.skip_if_anchor and op.input == anchor:
+                    # anchor fragments stay in place; the scan already
+                    # registered their residency, so nothing moves
+                    slots[op.out] = frames
+                    record(
+                        OperatorTrace(
+                            round_index, op_index, op,
+                            tuples_in=slot_tuples(op.input),
+                            tuples_out=slot_tuples(op.out),
+                            skipped=True,
+                        )
+                    )
+                    continue
+                if op.release_input:
+                    # the exchange streams the old partitioning out as it
+                    # sends, so its residency is freed before receive
+                    # buffers fill
+                    cluster.release_frames(frames)
+                if op.kind is ExchangeKind.REGULAR:
+                    slots[op.out] = regular_shuffle(
+                        frames,
+                        op.key,
+                        workers,
+                        stats,
+                        name=op.name,
+                        phase=op.phase,
+                        memory=cluster.memory,
+                    )
+                elif op.kind is ExchangeKind.BROADCAST:
+                    slots[op.out] = broadcast(
+                        frames,
+                        workers,
+                        stats,
+                        name=op.name,
+                        phase=op.phase,
+                        memory=cluster.memory,
+                    )
+                else:
+                    slots[op.out] = hypercube_shuffle(
+                        frames,
+                        op.atom,
+                        mapping,
+                        workers,
+                        stats,
+                        name=op.name,
+                        phase=op.phase,
+                        memory=cluster.memory,
+                    )
+                record(
+                    OperatorTrace(
+                        round_index, op_index, op,
+                        tuples_in=sum(len(f) for f in frames),
+                        tuples_out=slot_tuples(op.out),
+                        shuffle_index=len(stats.shuffles) - 1,
+                    )
+                )
+            elif isinstance(op, SemiJoinProject):
+                source = slots[op.source]
+                projected: list[Frame] = []
+                for worker, frame in enumerate(source):
+                    stats.charge(worker, len(frame), op.phase)
+                    projected.append(frame.project(op.key, dedup=True))
+                slots[op.out] = projected
+                record(
+                    OperatorTrace(
+                        round_index, op_index, op,
+                        tuples_in=sum(len(f) for f in source),
+                        tuples_out=slot_tuples(op.out),
+                    )
+                )
+            else:  # pragma: no cover - lowering only emits the ops above
+                raise TypeError(f"unknown global operator {op!r}")
+
+        local = round_.local_ops()
+        if not local:
+            continue
+        if round_.local_workers == LOCAL_HC:
+            worker_ids = range(mapping.workers_used)
+        else:
+            worker_ids = range(workers)
+
+        def local_task(worker: int, ledger: WorkerLedger, ops=local):
+            produced: dict[str, SlotValue] = {}
+
+            def read(name: str) -> SlotValue:
+                return produced[name] if name in produced else slots[name][worker]
+
+            def write(name: str, value: SlotValue) -> None:
+                produced[name] = value
+
+            for op in ops:
+                _run_local_op(op, worker, ledger, read, write)
+            return produced
+
+        outcomes = runtime.map_workers(worker_ids, local_task, stats, cluster.memory)
+        local_positions = [
+            i for i, candidate in enumerate(round_.ops) if not candidate.GLOBAL
+        ]
+        for op_offset, op in enumerate(local):
+            inputs = (
+                [op.left, op.right]
+                if isinstance(op, (LocalHashJoin, MergeJoinStep))
+                else [op.target, op.keys]
+                if isinstance(op, SemiJoinFilter)
+                else [slot for _, slot in op.inputs]
+            )
+            tuples_in = sum(slot_tuples(name) for name in inputs if name in slots)
+            slots[op.out] = [produced[op.out] for produced in outcomes]
+            record(
+                OperatorTrace(
+                    round_index,
+                    local_positions[op_offset],
+                    op,
+                    tuples_in=tuples_in
+                    + sum(
+                        len(produced[name])
+                        for produced in outcomes
+                        for name in inputs
+                        if name not in slots
+                    ),
+                    tuples_out=slot_tuples(op.out),
+                )
+            )
+
+    # finalize: union worker outputs; project and de-duplicate
+    if plan.result_kind == RESULT_ROWS:
+        per_worker_rows = slots[plan.result]
+    else:
+        per_worker_rows = [frame.rows for frame in slots[plan.result]]
+    rows: list = []
+    for worker_rows in per_worker_rows:
+        rows.extend(worker_rows)
+    if plan.head_indices is not None:
+        rows = [tuple(row[i] for i in plan.head_indices) for row in rows]
+    if not plan.query.is_full():
+        rows = list(dict.fromkeys(rows))
+    stats.result_count = len(rows)
+    # HC evaluates all atoms at once but full-query bindings can repeat when
+    # two workers received overlapping replicas ONLY via projection; full
+    # results are produced exactly once (each binding fixes every coordinate)
+    if plan.dedup_full and plan.query.is_full():
+        rows = list(dict.fromkeys(rows))
+        stats.result_count = len(rows)
+    return ScheduledRun(rows=rows, hc_config=hc_config, anchor=anchor, trace=trace)
+
+
+# Imported last on purpose: importing the planner package re-enters this
+# module (planner.api -> planner.executor -> here), and by deferring the
+# import every name the re-entry needs is already defined above.  The
+# operator names are only *referenced* inside function bodies, so binding
+# them after the definitions is safe.
+from ..planner.physical import (  # noqa: E402
+    LOCAL_HC,
+    RESULT_ROWS,
+    ChooseAnchor,
+    ConfigureHyperCube,
+    Exchange,
+    ExchangeKind,
+    LocalHashJoin,
+    LocalTributaryJoin,
+    MergeJoinStep,
+    PhysicalOp,
+    PhysicalPlan,
+    Scan,
+    SemiJoinFilter,
+    SemiJoinProject,
+)

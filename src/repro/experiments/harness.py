@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 from ..engine.cluster import Cluster
 from ..engine.memory import MemoryBudget
 from ..engine.runtime import RuntimeLike
+from ..planner.api import QueryLike, _as_query
 from ..planner.binary import LeftDeepPlan, left_deep_plan, plan_from_order
 from ..planner.executor import ExecutionResult, execute
 from ..planner.plans import ALL_STRATEGIES, Strategy
@@ -67,7 +68,7 @@ class GridResult:
 
 
 def run_grid(
-    query: ConjunctiveQuery,
+    query: QueryLike,
     database: Database,
     workers: int = 64,
     strategies: Sequence[Strategy] = ALL_STRATEGIES,
@@ -75,7 +76,13 @@ def run_grid(
     plan_order: Optional[Sequence[str]] = None,
     runtime: RuntimeLike = None,
 ) -> GridResult:
-    """Run ``query`` under each strategy on fresh clusters over ``database``."""
+    """Run ``query`` under each strategy on fresh clusters over ``database``.
+
+    ``query`` may be Datalog rule text or an already-parsed
+    :class:`~repro.query.atoms.ConjunctiveQuery`; it is parsed at most once
+    here, and the per-query optimizer artifacts (plan, variable order) are
+    computed once and shared across all strategy runs."""
+    query = _as_query(query)
     catalog = Catalog(database)
     if plan_order is not None:
         plan = plan_from_order(query, catalog, plan_order)

@@ -1,9 +1,18 @@
-"""Plan strategies, the distributed executor, and the semijoin planner."""
+"""Plan strategies, the physical-plan IR, the executor, and EXPLAIN."""
 
 from .api import make_cluster, run_all_strategies, run_query
 from .binary import LeftDeepPlan, left_deep_plan, shared_variables
-from .explain import Explanation, explain
-from .executor import ExecutionResult, execute, run_regular_pipeline
+from .explain import AnalyzedPlan, Explanation, explain, explain_analyze
+from .executor import ExecutionResult, execute, execute_physical
+from .physical import (
+    PhysicalPlan,
+    Round,
+    lower,
+    lower_broadcast,
+    lower_hypercube,
+    lower_regular,
+    lower_semijoin,
+)
 from .plans import (
     ALL_STRATEGIES,
     BR_HJ,
@@ -20,6 +29,7 @@ from .semijoin import execute_semijoin
 
 __all__ = [
     "ALL_STRATEGIES",
+    "AnalyzedPlan",
     "BR_HJ",
     "BR_TJ",
     "ExecutionResult",
@@ -28,17 +38,25 @@ __all__ = [
     "HC_TJ",
     "JoinKind",
     "LeftDeepPlan",
+    "PhysicalPlan",
     "RS_HJ",
     "RS_TJ",
+    "Round",
     "ShuffleKind",
     "Strategy",
     "execute",
-    "explain",
+    "execute_physical",
     "execute_semijoin",
+    "explain",
+    "explain_analyze",
     "left_deep_plan",
+    "lower",
+    "lower_broadcast",
+    "lower_hypercube",
+    "lower_regular",
+    "lower_semijoin",
     "make_cluster",
     "run_all_strategies",
     "run_query",
-    "run_regular_pipeline",
     "shared_variables",
 ]

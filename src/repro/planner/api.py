@@ -14,7 +14,6 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 from ..engine.cluster import Cluster
-from ..engine.kernels import use_backend
 from ..engine.memory import MemoryBudget
 from ..engine.runtime import RuntimeLike
 from ..query.atoms import ConjunctiveQuery, Variable
@@ -66,8 +65,7 @@ def run_query(
     parsed = _as_query(query)
     cluster = make_cluster(database, workers=workers, memory_tuples=memory_tuples)
     if isinstance(strategy, str) and strategy == "SJ_HJ":
-        with use_backend(kernels):
-            return execute_semijoin(parsed, cluster, runtime=runtime)
+        return execute_semijoin(parsed, cluster, runtime=runtime, kernels=kernels)
     if isinstance(strategy, str):
         strategy = Strategy.parse(strategy)
     return execute(

@@ -1,13 +1,16 @@
 """Distributed query execution for every shuffle x join strategy.
 
-This is the counterpart of the paper's Myria deployment: given a query, a
-loaded cluster, and one of the six strategies (Sec. 3), it runs the full
-distributed plan — scans with selection pushdown, the chosen shuffle(s),
-local joins per worker — collecting the exact metrics the paper reports
-(tuples shuffled, producer/consumer skew per shuffle, per-worker CPU work by
-phase, peak memory) and the result rows.
+This is the counterpart of the paper's Myria deployment — but where the
+strategies used to be six hand-written execution loops, they are now six
+small *lowering* functions (:mod:`~repro.planner.physical`) producing an
+explicit :class:`~repro.planner.physical.PhysicalPlan`, executed by the one
+operator scheduler (:mod:`~repro.engine.scheduler`).  :func:`execute` is
+the stable entry point: lower the query for the chosen strategy, run the
+plan, and wrap rows + counted metrics into an :class:`ExecutionResult`;
+:func:`execute_physical` runs an already-lowered plan (the seam EXPLAIN
+ANALYZE and hybrid planners build on).
 
-Plan shapes:
+Plan shapes (see :mod:`~repro.planner.physical` for the operator IR):
 
 - ``RS_*``  — left-deep pipeline: shuffle both inputs of every binary join
   on the join key (skipping re-shuffles when the intermediate is already
@@ -25,42 +28,30 @@ turns into a FAILed :class:`ExecutionResult` — the paper's Fig. 9 reports
 exactly this outcome for RS_TJ on Q4.
 
 The per-worker local-join phases run through a pluggable worker runtime
-(:mod:`~repro.engine.runtime`): each worker task records into an isolated
-:class:`~repro.engine.runtime.WorkerLedger` merged back deterministically,
-so :class:`~repro.engine.runtime.SerialRuntime` and
-:class:`~repro.engine.runtime.ParallelRuntime` produce identical result
-rows and counted metrics.
-
-Memory accounting follows one model across all strategies: scans register
-each atom's post-selection fragments as resident, shuffles move that
-residency to the consumers (the scanned source fragments are released once
-streamed out), and every join step releases its consumed inputs and
-filter-dropped rows so only live intermediates count — the OOM model fires
-on peak working set, not on a monotonically growing cumulative sum.
+(:mod:`~repro.engine.runtime`); result rows and counted metrics are
+identical across runtimes and kernel backends by construction, and a
+differential suite pins them against golden captures of the historical
+per-strategy executor.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..engine.cluster import Cluster
-from ..engine.frame import Frame, atom_frame
-from ..engine.hash_join import apply_comparisons, symmetric_hash_join
 from ..engine.kernels import use_backend
-from ..engine.local import local_tributary_join, scanned_query
-from ..engine.memory import MemorySink, OutOfMemoryError
-from ..engine.runtime import RuntimeLike, WorkerRuntime, resolve_runtime
-from ..engine.shuffle import broadcast, hypercube_shuffle, regular_shuffle
-from ..engine.stats import ExecutionStats, StatsSink
-from ..hypercube.config import HyperCubeConfig, optimize_config
-from ..hypercube.mapping import HyperCubeMapping
-from ..leapfrog.variable_order import best_join_order, full_variable_order
-from ..query.atoms import Atom, Comparison, ConjunctiveQuery, Variable
+from ..engine.memory import OutOfMemoryError
+from ..engine.runtime import RuntimeLike, resolve_runtime
+from ..engine.scheduler import OperatorTrace, run_plan
+from ..engine.stats import ExecutionStats
+from ..hypercube.config import HyperCubeConfig
+from ..query.atoms import ConjunctiveQuery, Variable
 from ..query.catalog import Catalog
-from .binary import LeftDeepPlan, left_deep_plan, shared_variables
-from .plans import JoinKind, ShuffleKind, Strategy
+from .binary import LeftDeepPlan
+from .physical import PhysicalPlan, lower
+from .plans import Strategy
 
 
 @dataclass
@@ -72,94 +63,61 @@ class ExecutionResult:
     hc_config: Optional[HyperCubeConfig] = None
     variable_order: Optional[tuple[Variable, ...]] = None
     plan: Optional[LeftDeepPlan] = None
+    #: the lowered plan that was executed (None only for early failures)
+    physical: Optional[PhysicalPlan] = None
+    #: per-operator execution trace (present when tracing was requested)
+    trace: Optional[list[OperatorTrace]] = None
 
     @property
     def failed(self) -> bool:
         return self.stats.failed
 
 
-def _canonical(variables: Sequence[Variable]) -> tuple[Variable, ...]:
-    """Canonical key ordering so co-partitioning checks are order-free."""
-    return tuple(sorted(variables, key=lambda v: v.name))
+def execute_physical(
+    physical: PhysicalPlan,
+    cluster: Cluster,
+    runtime: RuntimeLike = None,
+    kernels: Optional[str] = None,
+    trace: Optional[list[OperatorTrace]] = None,
+) -> ExecutionResult:
+    """Run an already-lowered physical plan on a loaded cluster.
 
-
-def _scan_atoms(
-    query: ConjunctiveQuery, cluster: Cluster, stats: ExecutionStats
-) -> tuple[dict[str, list[Frame]], list[Comparison]]:
-    """Scan every atom on every worker, pushing down constants and any
-    comparison fully covered by a single atom.  Returns per-alias per-worker
-    frames and the comparisons that remain for the join pipeline.
-
-    Every post-selection fragment is registered as resident with the
-    worker's memory budget — the same scan-residency accounting for all
-    strategies, so cross-strategy peak-memory comparisons are
-    apples-to-apples."""
-    encoder = cluster.encoder()
-    remaining: list[Comparison] = []
-    coverable: dict[str, list[Comparison]] = {atom.alias: [] for atom in query.atoms}
-    for comparison in query.comparisons:
-        cover = [
-            atom.alias
-            for atom in query.atoms
-            if set(comparison.variables()) <= set(atom.variables())
-        ]
-        if cover:
-            for alias in cover:
-                coverable[alias].append(comparison)
-        else:
-            remaining.append(comparison)
-
-    frames: dict[str, list[Frame]] = {}
-    for atom in query.atoms:
-        per_worker: list[Frame] = []
-        for worker in range(cluster.workers):
-            relation = cluster.fragment_relation(atom.relation, worker)
-            frame = atom_frame(atom, relation, encoder)
-            for comparison in coverable[atom.alias]:
-                index = {v: i for i, v in enumerate(frame.variables)}
-                frame = Frame(
-                    frame.variables,
-                    [
-                        row
-                        for row in frame.rows
-                        if comparison.evaluate(
-                            {v: row[i] for v, i in index.items()}
-                        )
-                    ],
-                )
-            per_worker.append(frame)
-        frames[atom.alias] = per_worker
-        for worker, frame in enumerate(per_worker):
-            if len(frame):
-                cluster.memory.allocate(worker, len(frame), "scan")
-                stats.record_memory(worker, cluster.memory.resident(worker))
-    return frames, remaining
-
-
-def _scanned_sizes(frames: Mapping[str, list[Frame]]) -> dict[str, int]:
-    """Exact post-selection cardinality per atom alias."""
-    return {
-        alias: max(1, sum(len(f) for f in per_worker))
-        for alias, per_worker in frames.items()
-    }
-
-
-def _finalize(
-    query: ConjunctiveQuery,
-    per_worker_rows: list[list[tuple[int, ...]]],
-    head_indices: Optional[Sequence[int]],
-    stats: ExecutionStats,
-) -> list[tuple[int, ...]]:
-    """Union worker outputs; project and de-duplicate non-full heads."""
-    rows: list[tuple[int, ...]] = []
-    for worker_rows in per_worker_rows:
-        rows.extend(worker_rows)
-    if head_indices is not None:
-        rows = [tuple(row[i] for i in head_indices) for row in rows]
-    if not query.is_full():
-        rows = list(dict.fromkeys(rows))
-    stats.result_count = len(rows)
-    return rows
+    Resets the cluster's memory budget, executes the plan through the
+    scheduler under the requested kernel backend and worker runtime, and
+    converts a simulated :class:`~repro.engine.memory.OutOfMemoryError`
+    into a FAILed result.  Pass a list as ``trace`` to collect the
+    per-operator :class:`~repro.engine.scheduler.OperatorTrace` stream
+    (partial on failure).
+    """
+    if cluster.database is None:
+        raise RuntimeError("cluster has no loaded database; call cluster.load()")
+    stats = ExecutionStats(
+        query=physical.query.name,
+        strategy=physical.strategy,
+        workers=cluster.workers,
+    )
+    worker_runtime = resolve_runtime(runtime)
+    cluster.memory.reset()
+    started = time.perf_counter()
+    try:
+        with use_backend(kernels):
+            run = run_plan(physical, cluster, stats, worker_runtime, trace=trace)
+        result = ExecutionResult(
+            rows=run.rows,
+            stats=stats,
+            hc_config=run.hc_config,
+            variable_order=physical.variable_order,
+            plan=physical.left_deep,
+            physical=physical,
+            trace=trace,
+        )
+    except OutOfMemoryError as oom:
+        stats.mark_failed(str(oom))
+        result = ExecutionResult(
+            rows=[], stats=stats, physical=physical, trace=trace
+        )
+    stats.elapsed_seconds = time.perf_counter() - started
+    return result
 
 
 def execute(
@@ -173,11 +131,14 @@ def execute(
     hc_seed: int = 0,
     runtime: RuntimeLike = None,
     kernels: Optional[str] = None,
+    trace: Optional[list[OperatorTrace]] = None,
 ) -> ExecutionResult:
     """Run ``query`` on ``cluster`` with the given strategy.
 
-    ``runtime`` selects how the per-worker local-join phases execute:
-    ``"serial"`` (default), ``"parallel"``/``"parallel:N"``, or a
+    Lowers the query to a :class:`~repro.planner.physical.PhysicalPlan`
+    and executes it via :func:`execute_physical`.  ``runtime`` selects how
+    the per-worker local-join phases execute: ``"serial"`` (default),
+    ``"parallel"``/``"parallel:N"``, or a
     :class:`~repro.engine.runtime.WorkerRuntime` instance.  ``kernels``
     pins the kernel backend (``"python"``/``"numpy"``) for this execution;
     ``None`` keeps the process-wide default (``REPRO_KERNELS``).  Result
@@ -186,440 +147,16 @@ def execute(
     """
     if cluster.database is None:
         raise RuntimeError("cluster has no loaded database; call cluster.load()")
-    stats = ExecutionStats(
-        query=query.name, strategy=strategy.name, workers=cluster.workers
-    )
     catalog = catalog or Catalog(cluster.database)
-    worker_runtime = resolve_runtime(runtime)
-    cluster.memory.reset()
-    started = time.perf_counter()
-    result = ExecutionResult(rows=[], stats=stats)
-    try:
-        with use_backend(kernels):
-            if strategy.shuffle is ShuffleKind.REGULAR:
-                result = _execute_regular(
-                    query, cluster, strategy, catalog, plan, stats, worker_runtime
-                )
-            elif strategy.shuffle is ShuffleKind.BROADCAST:
-                result = _execute_broadcast(
-                    query,
-                    cluster,
-                    strategy,
-                    catalog,
-                    plan,
-                    variable_order,
-                    stats,
-                    worker_runtime,
-                )
-            else:
-                result = _execute_hypercube(
-                    query,
-                    cluster,
-                    strategy,
-                    catalog,
-                    plan,
-                    hc_config,
-                    variable_order,
-                    hc_seed,
-                    stats,
-                    worker_runtime,
-                )
-    except OutOfMemoryError as oom:
-        stats.mark_failed(str(oom))
-        result = ExecutionResult(rows=[], stats=stats)
-    stats.elapsed_seconds = time.perf_counter() - started
-    return result
-
-
-# ----------------------------------------------------------------------
-# Regular shuffle (RS_HJ / RS_TJ)
-# ----------------------------------------------------------------------
-
-
-def _binary_local_join(
-    strategy: Strategy,
-    left: Frame,
-    right: Frame,
-    join_vars: Sequence[Variable],
-    worker: int,
-    stats: StatsSink,
-    step: int,
-    memory: MemorySink,
-) -> Frame:
-    phase = f"step{step}:join"
-    if strategy.join is JoinKind.HASH:
-        return symmetric_hash_join(
-            left, right, join_vars, worker, stats, phase, memory
-        )
-    # Binary Tributary join == sort-merge join: build a 2-atom query over the
-    # two frames and run the multiway machinery on it.
-    left_atom = Atom("L", left.variables, alias="L")
-    right_atom = Atom("R", right.variables, alias="R")
-    out_vars = tuple(left.variables) + tuple(
-        v for v in right.variables if v not in set(left.variables)
-    )
-    two_way = ConjunctiveQuery(
-        name="merge", head=out_vars, atoms=(left_atom, right_atom)
-    )
-    order = tuple(join_vars) + tuple(v for v in out_vars if v not in set(join_vars))
-    rows = local_tributary_join(
-        two_way,
-        {"L": left, "R": right},
-        worker,
-        stats,
-        order=order,
-        sort_phase=f"step{step}:sort",
-        join_phase=phase,
-        memory=memory,
-    )
-    return Frame(out_vars, rows)
-
-
-def _execute_regular(
-    query: ConjunctiveQuery,
-    cluster: Cluster,
-    strategy: Strategy,
-    catalog: Catalog,
-    plan: Optional[LeftDeepPlan],
-    stats: ExecutionStats,
-    runtime: WorkerRuntime,
-) -> ExecutionResult:
-    plan = plan or left_deep_plan(query, catalog)
-    frames, pending = _scan_atoms(query, cluster, stats)
-    rows = run_regular_pipeline(
-        query, cluster, strategy, plan, stats, frames, pending, runtime
-    )
-    return ExecutionResult(rows=rows, stats=stats, plan=plan)
-
-
-def run_regular_pipeline(
-    query: ConjunctiveQuery,
-    cluster: Cluster,
-    strategy: Strategy,
-    plan: LeftDeepPlan,
-    stats: ExecutionStats,
-    frames: Mapping[str, list[Frame]],
-    pending: Sequence[Comparison],
-    runtime: RuntimeLike = None,
-) -> list[tuple[int, ...]]:
-    """The left-deep shuffle-then-join pipeline over given scanned frames.
-
-    Exposed separately so the semijoin planner (Sec. 3.6) can run the final
-    join phase over its reduced relations.
-    """
-    runtime = resolve_runtime(runtime)
-    atoms = {atom.alias: atom for atom in query.atoms}
-    workers = cluster.workers
-    pending = list(pending)
-
-    first = atoms[plan.order[0]]
-    current = frames[first.alias]
-    current_vars: tuple[Variable, ...] = first.variables()
-    partition_key: Optional[frozenset[Variable]] = None
-
-    for step, alias in enumerate(plan.order[1:], start=1):
-        atom = atoms[alias]
-        join_vars = shared_variables(current_vars, atom)
-        shuffle_phase = f"step{step}:shuffle"
-        if join_vars:
-            key = _canonical(join_vars)
-            if partition_key != frozenset(key):
-                # the shuffle streams the old partitioning out as it sends,
-                # so its residency is freed before receive buffers fill
-                cluster.release_frames(current)
-                current = regular_shuffle(
-                    current,
-                    key,
-                    workers,
-                    stats,
-                    name=f"RS {query.name} step{step} left -> h{tuple(v.name for v in key)}",
-                    phase=shuffle_phase,
-                    memory=cluster.memory,
-                )
-            cluster.release_frames(frames[alias])
-            right = regular_shuffle(
-                frames[alias],
-                key,
-                workers,
-                stats,
-                name=f"RS {alias} -> h{tuple(v.name for v in key)}",
-                phase=shuffle_phase,
-                memory=cluster.memory,
-            )
-            partition_key = frozenset(key)
-        else:
-            # Cartesian step: replicate the (smaller) atom everywhere.
-            cluster.release_frames(frames[alias])
-            right = broadcast(
-                frames[alias],
-                workers,
-                stats,
-                name=f"BR {alias} (cartesian)",
-                phase=shuffle_phase,
-                memory=cluster.memory,
-            )
-
-        left = current
-        step_pending = list(pending)
-
-        def join_step(worker, ledger, left=left, right=right,
-                      join_vars=join_vars, step=step, step_pending=step_pending):
-            out = _binary_local_join(
-                strategy,
-                left[worker],
-                right[worker],
-                join_vars,
-                worker,
-                ledger.stats,
-                step,
-                ledger.memory,
-            )
-            produced = len(out.rows)
-            # every worker filters against the full pending list; the
-            # deferred remainder is the same for all of them
-            out, deferred = apply_comparisons(
-                out, step_pending, worker, ledger.stats, f"step{step}:filter"
-            )
-            # consumed inputs and filter-dropped rows leave worker memory
-            dropped = produced - len(out.rows)
-            if dropped:
-                ledger.memory.release(worker, dropped)
-            consumed = len(left[worker]) + len(right[worker])
-            if consumed:
-                ledger.memory.release(worker, consumed)
-            return out, deferred
-
-        outcomes = runtime.map_workers(
-            range(workers), join_step, stats, cluster.memory
-        )
-        joined = [out for out, _ in outcomes]
-        pending = outcomes[0][1] if outcomes else pending
-        current = joined
-        current_vars = joined[0].variables if joined else current_vars
-
-    head_indices = [current_vars.index(v) for v in query.head]
-    return _finalize(
-        query, [frame.rows for frame in current], head_indices, stats
-    )
-
-
-# ----------------------------------------------------------------------
-# Broadcast (BR_HJ / BR_TJ)
-# ----------------------------------------------------------------------
-
-
-def _local_hash_pipeline(
-    query: ConjunctiveQuery,
-    plan: LeftDeepPlan,
-    frames_of_worker: Mapping[str, Frame],
-    pending: Sequence[Comparison],
-    worker: int,
-    stats: StatsSink,
-    memory: MemorySink,
-) -> Frame:
-    atoms = {atom.alias: atom for atom in query.atoms}
-    current = frames_of_worker[plan.order[0]]
-    current_vars = list(current.variables)
-    remaining = list(pending)
-    for step, alias in enumerate(plan.order[1:], start=1):
-        join_vars = shared_variables(current_vars, atoms[alias])
-        left = current
-        current = symmetric_hash_join(
-            left,
-            frames_of_worker[alias],
-            join_vars,
-            worker,
-            stats,
-            f"step{step}:join",
-            memory,
-        )
-        produced = len(current.rows)
-        current, remaining = apply_comparisons(
-            current, remaining, worker, stats, f"step{step}:filter"
-        )
-        # consumed inputs and filter-dropped rows leave worker memory
-        dropped = produced - len(current.rows)
-        if dropped:
-            memory.release(worker, dropped)
-        consumed = len(left.rows) + len(frames_of_worker[alias].rows)
-        if consumed:
-            memory.release(worker, consumed)
-        current_vars = list(current.variables)
-    return current
-
-
-def _local_join_phase(
-    query: ConjunctiveQuery,
-    strategy: Strategy,
-    catalog: Catalog,
-    plan: Optional[LeftDeepPlan],
-    variable_order: Optional[Sequence[Variable]],
-    shuffled: Mapping[str, list[Frame]],
-    pending: Sequence[Comparison],
-    worker_ids: Sequence[int],
-    stats: ExecutionStats,
-    cluster: Cluster,
-    runtime: WorkerRuntime,
-) -> tuple[list[list[tuple[int, ...]]], Optional[list[int]], Optional[tuple[Variable, ...]]]:
-    """Run the single-round local evaluation (BR/HC) on every worker.
-
-    Returns per-worker result rows, the head projection indices (hash
-    pipeline only), and the variable order (Tributary only)."""
-    if strategy.join is JoinKind.TRIBUTARY:
-        local_query = scanned_query(query)
-        order = _resolve_order(query, catalog, variable_order)
-
-        def tributary_task(worker, ledger):
-            frames_of_worker = {
-                alias: shuffled[alias][worker] for alias in shuffled
-            }
-            rows = local_tributary_join(
-                local_query,
-                frames_of_worker,
-                worker,
-                ledger.stats,
-                order=order,
-                memory=ledger.memory,
-            )
-            consumed = sum(len(f) for f in frames_of_worker.values())
-            if consumed:
-                ledger.memory.release(worker, consumed)
-            return rows
-
-        per_worker_rows = runtime.map_workers(
-            worker_ids, tributary_task, stats, cluster.memory
-        )
-        return per_worker_rows, None, order
-
-    def hash_task(worker, ledger):
-        frames_of_worker = {alias: shuffled[alias][worker] for alias in shuffled}
-        return _local_hash_pipeline(
-            query, plan, frames_of_worker, pending, worker,
-            ledger.stats, ledger.memory,
-        )
-
-    outs = runtime.map_workers(worker_ids, hash_task, stats, cluster.memory)
-    head_indices = (
-        [outs[0].variables.index(v) for v in query.head] if outs else None
-    )
-    return [out.rows for out in outs], head_indices, None
-
-
-def _execute_broadcast(
-    query: ConjunctiveQuery,
-    cluster: Cluster,
-    strategy: Strategy,
-    catalog: Catalog,
-    plan: Optional[LeftDeepPlan],
-    variable_order: Optional[Sequence[Variable]],
-    stats: ExecutionStats,
-    runtime: WorkerRuntime,
-) -> ExecutionResult:
-    plan = plan or left_deep_plan(query, catalog)
-    workers = cluster.workers
-    frames, pending = _scan_atoms(query, cluster, stats)
-    sizes = _scanned_sizes(frames)
-    anchor = max(sizes, key=lambda alias: sizes[alias])
-
-    shuffled: dict[str, list[Frame]] = {}
-    for atom in query.atoms:
-        if atom.alias == anchor:
-            # anchor fragments stay in place; the scan already registered
-            # their residency, so nothing moves and nothing is re-charged
-            shuffled[atom.alias] = frames[atom.alias]
-        else:
-            # streamed out as the broadcast sends; freed before replicas land
-            cluster.release_frames(frames[atom.alias])
-            shuffled[atom.alias] = broadcast(
-                frames[atom.alias],
-                workers,
-                stats,
-                name=f"Broadcast {atom.alias}",
-                phase="broadcast",
-                memory=cluster.memory,
-            )
-
-    per_worker_rows, head_indices, order = _local_join_phase(
-        query, strategy, catalog, plan, variable_order, shuffled, pending,
-        range(workers), stats, cluster, runtime,
-    )
-
-    rows = _finalize(query, per_worker_rows, head_indices, stats)
-    return ExecutionResult(
-        rows=rows,
-        stats=stats,
+    physical = lower(
+        query,
+        strategy,
+        catalog,
         plan=plan,
-        variable_order=order,
+        hc_config=hc_config,
+        variable_order=variable_order,
+        hc_seed=hc_seed,
     )
-
-
-# ----------------------------------------------------------------------
-# HyperCube (HC_HJ / HC_TJ)
-# ----------------------------------------------------------------------
-
-
-def _resolve_order(
-    query: ConjunctiveQuery,
-    catalog: Catalog,
-    variable_order: Optional[Sequence[Variable]],
-) -> tuple[Variable, ...]:
-    if variable_order is not None:
-        return tuple(variable_order)
-    best = best_join_order(query, catalog)
-    return full_variable_order(query, best.order)
-
-
-def _execute_hypercube(
-    query: ConjunctiveQuery,
-    cluster: Cluster,
-    strategy: Strategy,
-    catalog: Catalog,
-    plan: Optional[LeftDeepPlan],
-    hc_config: Optional[HyperCubeConfig],
-    variable_order: Optional[Sequence[Variable]],
-    hc_seed: int,
-    stats: ExecutionStats,
-    runtime: WorkerRuntime,
-) -> ExecutionResult:
-    workers = cluster.workers
-    frames, pending = _scan_atoms(query, cluster, stats)
-    sizes = _scanned_sizes(frames)
-    config = hc_config or optimize_config(query, sizes, workers)
-    mapping = HyperCubeMapping(config, seed=hc_seed)
-
-    shuffled: dict[str, list[Frame]] = {}
-    for atom in query.atoms:
-        # streamed out as the shuffle sends; freed before receive buffers fill
-        cluster.release_frames(frames[atom.alias])
-        shuffled[atom.alias] = hypercube_shuffle(
-            frames[atom.alias],
-            atom,
-            mapping,
-            workers,
-            stats,
-            name=f"HCS {atom.alias}",
-            phase="hypercube shuffle",
-            memory=cluster.memory,
-        )
-
-    if strategy.join is not JoinKind.TRIBUTARY:
-        plan = plan or left_deep_plan(query, catalog)
-    per_worker_rows, head_indices, order = _local_join_phase(
-        query, strategy, catalog, plan, variable_order, shuffled, pending,
-        range(mapping.workers_used), stats, cluster, runtime,
-    )
-
-    rows = _finalize(query, per_worker_rows, head_indices, stats)
-    # HC evaluates all atoms at once but full-query bindings can repeat when
-    # two workers received overlapping replicas ONLY via projection; full
-    # results are produced exactly once (each binding fixes every coordinate)
-    if query.is_full():
-        rows = list(dict.fromkeys(rows))
-        stats.result_count = len(rows)
-    return ExecutionResult(
-        rows=rows,
-        stats=stats,
-        hc_config=config,
-        variable_order=order,
-        plan=plan,
+    return execute_physical(
+        physical, cluster, runtime=runtime, kernels=kernels, trace=trace
     )

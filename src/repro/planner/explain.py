@@ -1,16 +1,33 @@
-"""Query explanation: what each strategy would do, before running it.
+"""Query explanation: EXPLAIN (what a strategy would do) and EXPLAIN ANALYZE.
 
 ``explain`` assembles the optimizer artifacts the paper's system computes —
 the left-deep plan with estimated intermediate sizes, the fractional and
 integral HyperCube configurations with expected load and replication, and
 the Tributary variable order with its estimated cost — into one readable
-report.  Nothing is executed.
+report; with a ``strategy`` it also renders the lowered
+:class:`~repro.planner.physical.PhysicalPlan`.  Nothing is executed.
+
+``explain_analyze`` *does* execute: it lowers the query, runs the plan
+through the operator scheduler with tracing on, and annotates every
+operator with its counted metrics — tuples in/out, attributed CPU, the
+per-phase wall contribution, and the shuffle record it produced — pulled
+from :class:`~repro.engine.stats.ExecutionStats`.  The attribution is
+exact and conservative: local operators own their stat phases uniquely
+(asserted by :meth:`~repro.planner.physical.PhysicalPlan.local_phase_owners`),
+exchanges are charged from their own shuffle record (one work unit per
+tuple sent plus one per tuple received, which are equal totals for all
+three shuffle kinds), so the per-operator charges sum to ``total_cpu``
+and the per-exchange tuple counts sum to ``tuples_shuffled``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
 
+from ..engine.runtime import RuntimeLike
+from ..engine.scheduler import OperatorTrace
+from ..engine.stats import ExecutionStats, ShuffleRecord
 from ..hypercube.config import HyperCubeConfig, config_workload, optimize_config
 from ..hypercube.shares import (
     FractionalShares,
@@ -22,8 +39,19 @@ from ..leapfrog.variable_order import OrderCost, best_join_order, full_variable_
 from ..query.atoms import ConjunctiveQuery, Variable
 from ..query.catalog import Catalog, cardinalities_for
 from ..query.hypergraph import Hypergraph
+from ..query.parser import parse_query
 from ..storage.relation import Database
 from .binary import LeftDeepPlan, left_deep_plan
+from .executor import ExecutionResult, execute_physical
+from .physical import Exchange, PhysicalPlan, lower
+
+QueryLike = Union[str, ConjunctiveQuery]
+
+
+def _as_query(query: QueryLike) -> ConjunctiveQuery:
+    if isinstance(query, ConjunctiveQuery):
+        return query
+    return parse_query(query)
 
 
 @dataclass(frozen=True)
@@ -42,6 +70,10 @@ class Explanation:
     hc_replication: float
     variable_order: tuple[Variable, ...]
     order_cost: OrderCost
+    #: strategy the physical plan below was lowered for (None = not lowered)
+    strategy: Optional[str] = None
+    #: the lowered physical plan when a strategy was requested
+    physical: Optional[PhysicalPlan] = None
 
     def render(self) -> str:
         lines = [f"query: {self.query}"]
@@ -70,15 +102,26 @@ class Explanation:
             f"tributary variable order: {order} "
             f"(estimated cost {self.order_cost.cost:,.0f})"
         )
+        if self.physical is not None:
+            lines.append("")
+            lines.append(self.physical.render())
         return "\n".join(lines)
 
 
 def explain(
-    query: ConjunctiveQuery,
+    query: QueryLike,
     database: Database,
     workers: int = 64,
+    strategy: Optional[str] = None,
 ) -> Explanation:
-    """Build the full optimizer explanation for a query (no execution)."""
+    """Build the full optimizer explanation for a query (no execution).
+
+    ``query`` may be Datalog rule text or an already-parsed
+    :class:`~repro.query.atoms.ConjunctiveQuery`.  With ``strategy`` (one
+    of the six grid names or ``"SJ_HJ"``) the lowered physical plan is
+    attached and rendered as well.
+    """
+    query = _as_query(query)
     catalog = Catalog(database)
     cards = dict(cardinalities_for(query, database))
     hypergraph = Hypergraph(query)
@@ -87,6 +130,7 @@ def explain(
     config = optimize_config(query, cards, workers)
     best = best_join_order(query, catalog)
     shares = {v: float(d) for v, d in config.dims.items()}
+    physical = lower(query, strategy, catalog) if strategy is not None else None
     return Explanation(
         query=query,
         workers=workers,
@@ -100,4 +144,155 @@ def explain(
         hc_replication=replication_factor(query, cards, shares),
         variable_order=full_variable_order(query, best.order),
         order_cost=best,
+        strategy=strategy,
+        physical=physical,
     )
+
+
+@dataclass(frozen=True)
+class OperatorAnnotation:
+    """One operator's EXPLAIN ANALYZE row: what it did and what it cost.
+
+    ``cpu`` is the work attributed to this operator (exact: local phases
+    are uniquely owned; exchanges charge ``2 x tuples_sent`` out of their
+    shared shuffle phase).  ``wall`` is the operator's phase-wall
+    contribution — for exchanges that is the *shared* round shuffle-phase
+    wall, reported on each exchange of the round."""
+
+    round_index: int
+    op_index: int
+    describe: str
+    tuples_in: int
+    tuples_out: int
+    cpu: float
+    wall: float
+    shuffle: Optional[ShuffleRecord] = None
+    skipped: bool = False
+
+
+@dataclass
+class AnalyzedPlan:
+    """An executed physical plan with per-operator counted metrics."""
+
+    physical: PhysicalPlan
+    result: ExecutionResult
+    annotations: list[OperatorAnnotation] = field(default_factory=list)
+
+    @property
+    def stats(self) -> ExecutionStats:
+        """The execution's counted metrics (shared with ``result``)."""
+        return self.result.stats
+
+    def operator_charges(self) -> list[float]:
+        """Per-operator CPU attribution; sums exactly to ``total_cpu``."""
+        return [annotation.cpu for annotation in self.annotations]
+
+    def render(self) -> str:
+        """The annotated plan: one indented metric line per operator."""
+        stats = self.stats
+        lines = [
+            f"physical plan {self.physical.query.name} "
+            f"[{self.physical.strategy}] (analyzed)"
+        ]
+        last_round = -1
+        for annotation in self.annotations:
+            if annotation.round_index != last_round:
+                round_ = self.physical.rounds[annotation.round_index]
+                lines.append(f"round {annotation.round_index} <{round_.label}>:")
+                last_round = annotation.round_index
+            lines.append(f"  {annotation.describe}")
+            if annotation.skipped:
+                lines.append("      [skipped: anchor stays in place]")
+                continue
+            detail = (
+                f"      tuples in={annotation.tuples_in:,} "
+                f"out={annotation.tuples_out:,}  "
+                f"cpu={annotation.cpu:,.2f} wall={annotation.wall:,.2f}"
+            )
+            if annotation.shuffle is not None:
+                detail += (
+                    f"  [sent={annotation.shuffle.tuples_sent:,} "
+                    f"prod_skew={annotation.shuffle.producer_skew:.2f} "
+                    f"cons_skew={annotation.shuffle.consumer_skew:.2f}]"
+                )
+            lines.append(detail)
+        lines.append(
+            f"totals: cpu={stats.total_cpu:,.2f} wall={stats.wall_clock:,.2f} "
+            f"shuffled={stats.tuples_shuffled:,} results={stats.result_count:,}"
+        )
+        peak = max(stats.peak_memory.values(), default=0)
+        lines.append(
+            f"peak memory: {peak:,} tuples on the fullest worker "
+            f"({len(stats.peak_memory)} workers tracked)"
+        )
+        if stats.failed:
+            lines.append(f"FAILED: {stats.failure} (trace is partial)")
+        return "\n".join(lines)
+
+
+def annotate_plan(
+    physical: PhysicalPlan,
+    result: ExecutionResult,
+    trace: Sequence[OperatorTrace],
+) -> AnalyzedPlan:
+    """Join an execution trace with its stats into per-operator annotations."""
+    stats = result.stats
+    physical.local_phase_owners()  # asserts unique ownership of local phases
+    annotations: list[OperatorAnnotation] = []
+    for entry in trace:
+        op = entry.op
+        shuffle: Optional[ShuffleRecord] = None
+        if isinstance(op, Exchange) and not entry.skipped:
+            shuffle = stats.shuffles[entry.shuffle_index]
+            # one work unit per tuple sent plus one per tuple received;
+            # the totals are equal for all three shuffle kinds
+            cpu = 2.0 * shuffle.tuples_sent
+            wall = stats.phase_wall(op.phase)
+        else:
+            cpu = sum(stats.phase_cpu(phase) for phase in op.phases)
+            wall = sum(stats.phase_wall(phase) for phase in op.phases)
+        annotations.append(
+            OperatorAnnotation(
+                round_index=entry.round_index,
+                op_index=entry.op_index,
+                describe=op.describe(),
+                tuples_in=entry.tuples_in,
+                tuples_out=entry.tuples_out,
+                cpu=0.0 if entry.skipped else cpu,
+                wall=0.0 if entry.skipped else wall,
+                shuffle=shuffle,
+                skipped=entry.skipped,
+            )
+        )
+    return AnalyzedPlan(physical=physical, result=result, annotations=annotations)
+
+
+def explain_analyze(
+    query: QueryLike,
+    database: Database,
+    strategy: str = "HC_TJ",
+    workers: int = 64,
+    memory_tuples: Optional[int] = None,
+    runtime: RuntimeLike = None,
+    kernels: Optional[str] = None,
+) -> AnalyzedPlan:
+    """Lower, execute with tracing, and annotate the plan with its metrics.
+
+    ``strategy`` is one of the six grid names or ``"SJ_HJ"``.  The returned
+    :class:`AnalyzedPlan` carries the full :class:`ExecutionResult`; on a
+    simulated out-of-memory failure the annotations cover the operators
+    that completed before the failure.
+    """
+    from ..engine.cluster import Cluster
+    from ..engine.memory import MemoryBudget
+
+    parsed = _as_query(query)
+    cluster = Cluster(workers, MemoryBudget(per_worker_tuples=memory_tuples))
+    cluster.load(database)
+    catalog = Catalog(database)
+    physical = lower(parsed, strategy, catalog)
+    trace: list[OperatorTrace] = []
+    result = execute_physical(
+        physical, cluster, runtime=runtime, kernels=kernels, trace=trace
+    )
+    return annotate_plan(physical, result, trace)

@@ -1,0 +1,992 @@
+"""Physical-plan IR: the explicit operator graph every strategy lowers to.
+
+The paper's Sec. 3 presents the six evaluated configurations (RS/BR/HC x
+HJ/TJ) as compositions of a handful of physical operators — scans with
+selection pushdown, an exchange (regular hash shuffle, broadcast, or the
+HyperCube shuffle), and a local join (pipelined hash join or the Tributary
+multiway join).  This module makes those compositions *data* instead of
+code: a :class:`PhysicalPlan` is a sequence of :class:`Round` barriers, each
+holding driver-side **global** operators (scans, exchanges, the data-driven
+configuration steps) followed by per-worker **local** operators executed in
+one worker task through the runtime (:mod:`~repro.engine.runtime`).
+
+Each of the six strategies — plus the Sec. 3.6 semijoin reduction — is a
+small pure *lowering* function ``query -> PhysicalPlan``; a single
+interpreter (:mod:`~repro.engine.scheduler`) executes any plan.  Lowering is
+fully static: join variables, output schemas, comparison deferral, phase
+names, and head projections are all computed from the query and catalog, so
+the same plan can be rendered before execution (EXPLAIN), executed on any
+cluster size, and annotated with counted metrics afterwards (EXPLAIN
+ANALYZE, :mod:`~repro.planner.explain`).
+
+Two decisions are data-dependent and stay in the plan as explicit operators
+rather than branches in executor code: the broadcast strategy keeps the
+*largest scanned* relation in place (:class:`ChooseAnchor` binds it at run
+time, and broadcast exchanges carry ``skip_if_anchor``), and the HyperCube
+configuration is optimized from post-selection cardinalities
+(:class:`ConfigureHyperCube`).
+
+Phase names and memory registration/release semantics are part of each
+operator's contract (declared by ``phases`` and documented per operator),
+which is what makes the scheduler's counted metrics bit-identical to the
+historical per-strategy execution loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Sequence, Union
+
+from ..engine.hash_join import join_output_variables
+from ..engine.local import scanned_query
+from ..hypercube.config import HyperCubeConfig
+from ..leapfrog.variable_order import best_join_order, full_variable_order
+from ..query.atoms import Atom, Comparison, ConjunctiveQuery, Variable
+from ..query.catalog import Catalog
+from ..query.hypergraph import join_tree
+from .binary import LeftDeepPlan, left_deep_plan, shared_variables
+from .plans import ALL_STRATEGIES, JoinKind, ShuffleKind, Strategy
+
+#: strategy spellings accepted by :func:`lower` beyond the 3x2 grid
+SEMIJOIN_STRATEGY = "SJ_HJ"
+
+StrategyLike = Union[str, Strategy]
+
+
+class ExchangeKind(Enum):
+    """The three data-movement operators of Sec. 3."""
+
+    REGULAR = "regular"
+    BROADCAST = "broadcast"
+    HYPERCUBE = "hypercube"
+
+
+def canonical_key(variables: Sequence[Variable]) -> tuple[Variable, ...]:
+    """Canonical (name-sorted) key ordering so co-partitioning checks are
+    order-free — the partitioning produced by ``h(x,y)`` equals ``h(y,x)``."""
+    return tuple(sorted(variables, key=lambda v: v.name))
+
+
+class PhysicalOp:
+    """Base class for all physical operators.
+
+    ``GLOBAL`` operators run on the driver against the shared stats/memory
+    (scans, exchanges, configuration); local operators run inside one worker
+    task per worker, charging an isolated
+    :class:`~repro.engine.runtime.WorkerLedger`.  ``phases`` lists the
+    statistics phases this operator charges CPU into — the EXPLAIN ANALYZE
+    layer uses it to attribute :class:`~repro.engine.stats.ExecutionStats`
+    charges back to operators.
+    """
+
+    GLOBAL = True
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        """Stat phases this operator charges work units into."""
+        return ()
+
+    def describe(self) -> str:
+        """One-line rendering for EXPLAIN output."""
+        raise NotImplementedError
+
+
+def _names(variables: Sequence[Variable]) -> str:
+    return ", ".join(v.name for v in variables)
+
+
+@dataclass(frozen=True)
+class Scan(PhysicalOp):
+    """Scan one atom on every worker with selection pushdown.
+
+    Applies the atom's constant/repeated-variable selections plus every
+    comparison fully covered by the atom, then registers each post-selection
+    fragment as resident (phase ``scan`` in the memory budget).  Charges no
+    CPU — the paper's metrics start at the first shuffle.
+    """
+
+    atom: Atom
+    out: str
+    filters: tuple[Comparison, ...] = ()
+
+    def describe(self) -> str:
+        pushed = f" [+{len(self.filters)} pushed filter(s)]" if self.filters else ""
+        return f"scan {self.atom.relation} as {self.atom.alias}{pushed} -> {self.out}"
+
+
+@dataclass(frozen=True)
+class ChooseAnchor(PhysicalOp):
+    """Bind the broadcast anchor: the largest post-selection input.
+
+    The broadcast strategy keeps the largest scanned relation partitioned
+    in place and ships everything else; which relation that is depends on
+    runtime selectivity, so the choice is an explicit plan step.  Ties break
+    to the earliest atom (the scheduler scans ``aliases`` in atom order).
+    """
+
+    aliases: tuple[str, ...]
+
+    def describe(self) -> str:
+        return f"choose-anchor largest of ({', '.join(self.aliases)}) stays in place"
+
+
+@dataclass(frozen=True)
+class ConfigureHyperCube(PhysicalOp):
+    """Fix the HyperCube configuration from post-selection cardinalities.
+
+    Runs the paper's Algorithm 1 (:func:`~repro.hypercube.config.optimize_config`)
+    over the scanned sizes unless an explicit configuration was supplied,
+    then binds the per-dimension hash mapping used by every hypercube
+    exchange and the ``workers_used`` domain of the local join round.
+    """
+
+    aliases: tuple[str, ...]
+    config: Optional[HyperCubeConfig] = None
+    seed: int = 0
+
+    def describe(self) -> str:
+        how = repr(self.config) if self.config is not None else "Algorithm 1"
+        return (
+            f"configure-hypercube over ({', '.join(self.aliases)}) "
+            f"via {how}, seed={self.seed}"
+        )
+
+
+@dataclass(frozen=True)
+class Exchange(PhysicalOp):
+    """One data movement: regular shuffle, broadcast, or HyperCube shuffle.
+
+    Consumes ``input`` (releasing its residency as the tuples stream out,
+    unless ``release_input`` is off — e.g. semijoin key projections that
+    were never registered) and registers the received partitions with the
+    consumers' memory budgets.  Charges one work unit per tuple sent and
+    one per tuple received into ``phase`` and appends one
+    :class:`~repro.engine.stats.ShuffleRecord` named ``name``.
+    """
+
+    kind: ExchangeKind
+    input: str
+    out: str
+    name: str
+    phase: str
+    key: tuple[Variable, ...] = ()
+    atom: Optional[Atom] = None
+    release_input: bool = True
+    skip_if_anchor: bool = False
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        """The (possibly shared) shuffle phase this exchange charges."""
+        return (self.phase,)
+
+    def describe(self) -> str:
+        if self.kind is ExchangeKind.REGULAR:
+            detail = f" on h({_names(self.key)})"
+        elif self.kind is ExchangeKind.HYPERCUBE:
+            detail = f" via {self.atom.alias} coordinates"
+        else:
+            detail = " to all workers"
+            if self.skip_if_anchor:
+                detail += " (skipped for the anchor)"
+        return f"exchange[{self.kind.value}] {self.input} -> {self.out}{detail}"
+
+
+@dataclass(frozen=True)
+class LocalHashJoin(PhysicalOp):
+    """One per-worker symmetric hash join step of a left-deep pipeline.
+
+    Charges build+probe+output units into ``step{k}:join``, applies every
+    ready pending comparison (``step{k}:filter``), and releases the consumed
+    inputs plus filter-dropped rows so only the live intermediate stays
+    resident.
+    """
+
+    GLOBAL = False
+
+    left: str
+    right: str
+    out: str
+    join_vars: tuple[Variable, ...]
+    step: int
+    out_variables: tuple[Variable, ...]
+    pending: tuple[Comparison, ...] = ()
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        """Join and filter phases, unique to this step."""
+        return (f"step{self.step}:join", f"step{self.step}:filter")
+
+    def describe(self) -> str:
+        on = f"({_names(self.join_vars)})" if self.join_vars else "(cartesian)"
+        note = f", filter {len(self.pending)} pending" if self.pending else ""
+        return (
+            f"hash-join {self.left} >< {self.right} on {on}"
+            f" -> {self.out} [step {self.step}]{note}"
+        )
+
+
+@dataclass(frozen=True)
+class MergeJoinStep(PhysicalOp):
+    """One per-worker binary merge join (a degenerate 2-atom Tributary join).
+
+    Sorting charges ``n log n`` comparisons into ``step{k}:sort`` (and a
+    scratch sorted copy of both inputs against memory); seeks plus output
+    materialization go to ``step{k}:join``; ready comparisons filter in
+    ``step{k}:filter``; consumed inputs and dropped rows are released.
+    """
+
+    GLOBAL = False
+
+    left: str
+    right: str
+    out: str
+    join_vars: tuple[Variable, ...]
+    step: int
+    out_variables: tuple[Variable, ...]
+    order: tuple[Variable, ...] = ()
+    pending: tuple[Comparison, ...] = ()
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        """Sort, join, and filter phases, unique to this step."""
+        return (
+            f"step{self.step}:sort",
+            f"step{self.step}:join",
+            f"step{self.step}:filter",
+        )
+
+    def describe(self) -> str:
+        on = f"({_names(self.join_vars)})" if self.join_vars else "(cartesian)"
+        note = f", filter {len(self.pending)} pending" if self.pending else ""
+        return (
+            f"merge-join {self.left} >< {self.right} on {on}"
+            f" -> {self.out} [step {self.step}]{note}"
+        )
+
+
+@dataclass(frozen=True)
+class LocalTributaryJoin(PhysicalOp):
+    """The full multiway Tributary join over one worker's local fragments.
+
+    Sorting all fragments charges into ``sort`` (with the sorted copies as
+    scratch memory, released when the join finishes); seeks plus result
+    materialization charge into ``tributary join``.  Produces head rows
+    directly (the join projects the head internally).
+    """
+
+    GLOBAL = False
+
+    query: ConjunctiveQuery
+    inputs: tuple[tuple[str, str], ...]  # (atom alias, slot) pairs
+    out: str
+    order: tuple[Variable, ...]
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        """The sort and join phases of the local multiway join."""
+        return ("sort", "tributary join")
+
+    def describe(self) -> str:
+        slots = ", ".join(slot for _, slot in self.inputs)
+        order = " < ".join(v.name for v in self.order)
+        return f"tributary-join ({slots}) order {order} -> {self.out}"
+
+
+@dataclass(frozen=True)
+class SemiJoinProject(PhysicalOp):
+    """Local preprocessing of a distributed semijoin: project + dedup keys.
+
+    Charges one unit per scanned source tuple into ``{phase}:project``.  The
+    projected key frames are transient (never registered as resident): they
+    stream straight into the key shuffle.
+    """
+
+    source: str
+    out: str
+    key: tuple[Variable, ...]
+    phase: str
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        """The projection phase of this semijoin round."""
+        return (self.phase,)
+
+    def describe(self) -> str:
+        return f"semijoin-project {self.source} on ({_names(self.key)}) -> {self.out}"
+
+
+@dataclass(frozen=True)
+class SemiJoinFilter(PhysicalOp):
+    """Per-worker semijoin: keep target rows whose key appears in ``keys``.
+
+    Charges target rows plus distinct probe keys into ``{phase}:semijoin``
+    and releases the key buffer and every filtered-out target row.
+    """
+
+    GLOBAL = False
+
+    target: str
+    keys: str
+    out: str
+    key: tuple[Variable, ...]
+    phase: str
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        """The semijoin filter phase of this round."""
+        return (self.phase,)
+
+    def describe(self) -> str:
+        return (
+            f"semijoin-filter {self.target} |>< {self.keys} "
+            f"on ({_names(self.key)}) -> {self.out}"
+        )
+
+
+#: worker domains a round's local operators may run over
+LOCAL_ALL = "all"
+LOCAL_HC = "hc"
+
+
+@dataclass(frozen=True)
+class Round:
+    """One communication-round barrier of a physical plan.
+
+    Global operators execute first, in order, on the driver; the round's
+    local operators then run *fused* — one worker task per worker executes
+    the whole local sequence against a single isolated ledger, exactly the
+    granularity the worker runtime commits and the OOM model observes.
+    ``local_workers`` is :data:`LOCAL_ALL` (every cluster worker) or
+    :data:`LOCAL_HC` (the ``workers_used`` of the HyperCube configuration).
+    """
+
+    label: str
+    ops: tuple[PhysicalOp, ...]
+    local_workers: str = LOCAL_ALL
+
+    def global_ops(self) -> tuple[PhysicalOp, ...]:
+        """The driver-side operators of this round, in execution order."""
+        return tuple(op for op in self.ops if op.GLOBAL)
+
+    def local_ops(self) -> tuple[PhysicalOp, ...]:
+        """The per-worker operators of this round, in execution order."""
+        return tuple(op for op in self.ops if not op.GLOBAL)
+
+
+#: how the final slot is interpreted: per-worker frames or bare row lists
+RESULT_FRAMES = "frames"
+RESULT_ROWS = "rows"
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """A fully lowered, executable physical plan.
+
+    The plan is pure data: rendering it performs no execution, and the
+    :mod:`~repro.engine.scheduler` interpreter is the only component that
+    runs one.  ``head_indices`` projects the final frames onto the query
+    head (``None`` when the local join already emits head rows);  ``dedup``
+    removes duplicates of non-full queries and ``dedup_full`` additionally
+    de-duplicates full-query results (the HyperCube replication case).
+    """
+
+    query: ConjunctiveQuery
+    strategy: str
+    rounds: tuple[Round, ...]
+    result: str
+    result_kind: str = RESULT_FRAMES
+    head_indices: Optional[tuple[int, ...]] = None
+    dedup_full: bool = False
+    left_deep: Optional[LeftDeepPlan] = None
+    variable_order: Optional[tuple[Variable, ...]] = None
+    pending: tuple[Comparison, ...] = field(default=())
+
+    def operators(self):
+        """Yield ``(round_index, op_index, round, op)`` over the whole plan."""
+        for round_index, round_ in enumerate(self.rounds):
+            for op_index, op in enumerate(round_.ops):
+                yield round_index, op_index, round_, op
+
+    def local_phase_owners(self) -> dict[str, PhysicalOp]:
+        """Map each local-operator stat phase to its unique owning operator.
+
+        Exchange phases can be shared between the exchanges of one round
+        (their charges are split via their shuffle records instead); local
+        phases must be uniquely owned — asserted here — which is what makes
+        per-operator CPU attribution exact.
+        """
+        owners: dict[str, PhysicalOp] = {}
+        for _, _, _, op in self.operators():
+            if isinstance(op, Exchange):
+                continue
+            for phase in op.phases:
+                if phase in owners:
+                    raise AssertionError(
+                        f"phase {phase!r} owned by two operators: "
+                        f"{owners[phase].describe()} / {op.describe()}"
+                    )
+                owners[phase] = op
+        return owners
+
+    def render(self) -> str:
+        """Multi-line textual form of the plan (the EXPLAIN output)."""
+        lines = [f"physical plan {self.query.name} [{self.strategy}]"]
+        for round_index, round_ in enumerate(self.rounds):
+            domain = "" if round_.local_workers == LOCAL_ALL else " (hc workers)"
+            lines.append(f"round {round_index} <{round_.label}>{domain}:")
+            for op in round_.ops:
+                lines.append(f"  {op.describe()}")
+        head = _names(self.query.head)
+        finale = f"finalize: emit ({head})"
+        if self.head_indices is not None:
+            finale += f" via columns {list(self.head_indices)}"
+        if not self.query.is_full():
+            finale += ", dedup projection"
+        if self.dedup_full:
+            finale += ", dedup full rows"
+        lines.append(finale)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Lowering: query -> PhysicalPlan, one small pure function per strategy
+# ----------------------------------------------------------------------
+
+
+def split_scan_comparisons(
+    query: ConjunctiveQuery,
+) -> tuple[dict[str, tuple[Comparison, ...]], tuple[Comparison, ...]]:
+    """Partition comparisons into scan-pushed and pipeline-deferred.
+
+    A comparison fully covered by a single atom is pushed into *every*
+    covering atom's scan; everything else stays pending for the join
+    pipeline."""
+    coverable: dict[str, list[Comparison]] = {
+        atom.alias: [] for atom in query.atoms
+    }
+    remaining: list[Comparison] = []
+    for comparison in query.comparisons:
+        cover = [
+            atom.alias
+            for atom in query.atoms
+            if set(comparison.variables()) <= set(atom.variables())
+        ]
+        if cover:
+            for alias in cover:
+                coverable[alias].append(comparison)
+        else:
+            remaining.append(comparison)
+    return (
+        {alias: tuple(filters) for alias, filters in coverable.items()},
+        tuple(remaining),
+    )
+
+
+def _scan_round(query: ConjunctiveQuery) -> tuple[Round, tuple[Comparison, ...]]:
+    """The scan round shared by every strategy, plus the deferred filters."""
+    coverable, pending = split_scan_comparisons(query)
+    ops = tuple(
+        Scan(atom=atom, out=atom.alias, filters=coverable[atom.alias])
+        for atom in query.atoms
+    )
+    return Round(label="scan", ops=ops), pending
+
+
+def _defer(
+    pending: Sequence[Comparison], available: Sequence[Variable]
+) -> tuple[Comparison, ...]:
+    """Comparisons still missing a variable after this step's output."""
+    out = set(available)
+    return tuple(c for c in pending if set(c.variables()) - out)
+
+
+def _regular_rounds(
+    query: ConjunctiveQuery,
+    strategy: Strategy,
+    plan: LeftDeepPlan,
+    pending: tuple[Comparison, ...],
+    slot_of: dict[str, str],
+) -> tuple[list[Round], str, tuple[Variable, ...]]:
+    """Lower the left-deep shuffle-then-join pipeline over scanned slots.
+
+    Shared by RS_HJ/RS_TJ and the semijoin plan's final join phase (which
+    runs it over reduced relations).  Returns the step rounds, the final
+    slot, and its variables."""
+    atoms = {atom.alias: atom for atom in query.atoms}
+    rounds: list[Round] = []
+    first = atoms[plan.order[0]]
+    current_slot = slot_of[first.alias]
+    current_vars: tuple[Variable, ...] = first.variables()
+    partition_key: Optional[frozenset[Variable]] = None
+
+    for step, alias in enumerate(plan.order[1:], start=1):
+        atom = atoms[alias]
+        join_vars = shared_variables(current_vars, atom)
+        shuffle_phase = f"step{step}:shuffle"
+        ops: list[PhysicalOp] = []
+        if join_vars:
+            key = canonical_key(join_vars)
+            if partition_key != frozenset(key):
+                left_slot = f"left@step{step}"
+                ops.append(
+                    Exchange(
+                        kind=ExchangeKind.REGULAR,
+                        input=current_slot,
+                        out=left_slot,
+                        key=key,
+                        name=(
+                            f"RS {query.name} step{step} left -> "
+                            f"h{tuple(v.name for v in key)}"
+                        ),
+                        phase=shuffle_phase,
+                    )
+                )
+                current_slot = left_slot
+            right_slot = f"{alias}@step{step}"
+            ops.append(
+                Exchange(
+                    kind=ExchangeKind.REGULAR,
+                    input=slot_of[alias],
+                    out=right_slot,
+                    key=key,
+                    name=f"RS {alias} -> h{tuple(v.name for v in key)}",
+                    phase=shuffle_phase,
+                )
+            )
+            partition_key = frozenset(key)
+        else:
+            # Cartesian step: replicate the disconnected atom everywhere.
+            right_slot = f"{alias}@step{step}"
+            ops.append(
+                Exchange(
+                    kind=ExchangeKind.BROADCAST,
+                    input=slot_of[alias],
+                    out=right_slot,
+                    name=f"BR {alias} (cartesian)",
+                    phase=shuffle_phase,
+                )
+            )
+
+        out_slot = f"join@step{step}"
+        out_vars = join_output_variables(current_vars, atom.variables())
+        if strategy.join is JoinKind.HASH:
+            ops.append(
+                LocalHashJoin(
+                    left=current_slot,
+                    right=right_slot,
+                    out=out_slot,
+                    join_vars=join_vars,
+                    step=step,
+                    out_variables=out_vars,
+                    pending=pending,
+                )
+            )
+        else:
+            order = tuple(join_vars) + tuple(
+                v for v in out_vars if v not in set(join_vars)
+            )
+            ops.append(
+                MergeJoinStep(
+                    left=current_slot,
+                    right=right_slot,
+                    out=out_slot,
+                    join_vars=join_vars,
+                    step=step,
+                    out_variables=out_vars,
+                    order=order,
+                    pending=pending,
+                )
+            )
+        pending = _defer(pending, out_vars)
+        rounds.append(Round(label=f"step {step}", ops=tuple(ops)))
+        current_slot, current_vars = out_slot, out_vars
+    return rounds, current_slot, current_vars
+
+
+def _hash_pipeline_ops(
+    query: ConjunctiveQuery,
+    plan: LeftDeepPlan,
+    pending: tuple[Comparison, ...],
+    slot_of: dict[str, str],
+) -> tuple[list[PhysicalOp], str, tuple[Variable, ...]]:
+    """The fused per-worker left-deep hash pipeline (BR/HC local phase)."""
+    atoms = {atom.alias: atom for atom in query.atoms}
+    current_slot = slot_of[plan.order[0]]
+    current_vars: tuple[Variable, ...] = atoms[plan.order[0]].variables()
+    ops: list[PhysicalOp] = []
+    for step, alias in enumerate(plan.order[1:], start=1):
+        atom = atoms[alias]
+        join_vars = shared_variables(current_vars, atom)
+        out_vars = join_output_variables(current_vars, atom.variables())
+        out_slot = f"join@step{step}"
+        ops.append(
+            LocalHashJoin(
+                left=current_slot,
+                right=slot_of[alias],
+                out=out_slot,
+                join_vars=join_vars,
+                step=step,
+                out_variables=out_vars,
+                pending=pending,
+            )
+        )
+        pending = _defer(pending, out_vars)
+        current_slot, current_vars = out_slot, out_vars
+    return ops, current_slot, current_vars
+
+
+def _resolve_order(
+    query: ConjunctiveQuery,
+    catalog: Catalog,
+    variable_order: Optional[Sequence[Variable]],
+) -> tuple[Variable, ...]:
+    """The Tributary variable order: supplied, or the Sec. 5 cost model."""
+    if variable_order is not None:
+        return tuple(variable_order)
+    best = best_join_order(query, catalog)
+    return full_variable_order(query, best.order)
+
+
+def _head_indices(
+    query: ConjunctiveQuery, variables: Sequence[Variable]
+) -> tuple[int, ...]:
+    variables = list(variables)
+    return tuple(variables.index(v) for v in query.head)
+
+
+def lower_regular(
+    query: ConjunctiveQuery,
+    strategy: Strategy,
+    catalog: Catalog,
+    plan: Optional[LeftDeepPlan] = None,
+) -> PhysicalPlan:
+    """Lower RS_HJ / RS_TJ: a left-deep shuffle-then-join pipeline."""
+    plan = plan or left_deep_plan(query, catalog)
+    scan_round, pending = _scan_round(query)
+    slot_of = {atom.alias: atom.alias for atom in query.atoms}
+    rounds, result, result_vars = _regular_rounds(
+        query, strategy, plan, pending, slot_of
+    )
+    return PhysicalPlan(
+        query=query,
+        strategy=strategy.name,
+        rounds=(scan_round, *rounds),
+        result=result,
+        result_kind=RESULT_FRAMES,
+        head_indices=_head_indices(query, result_vars),
+        left_deep=plan,
+        pending=pending,
+    )
+
+
+def lower_broadcast(
+    query: ConjunctiveQuery,
+    strategy: Strategy,
+    catalog: Catalog,
+    plan: Optional[LeftDeepPlan] = None,
+    variable_order: Optional[Sequence[Variable]] = None,
+) -> PhysicalPlan:
+    """Lower BR_HJ / BR_TJ: anchor the largest input, broadcast the rest,
+    then evaluate the whole query locally on every worker."""
+    plan = plan or left_deep_plan(query, catalog)
+    scan_round, pending = _scan_round(query)
+    aliases = tuple(atom.alias for atom in query.atoms)
+    exchange_ops: list[PhysicalOp] = [ChooseAnchor(aliases=aliases)]
+    slot_of: dict[str, str] = {}
+    for atom in query.atoms:
+        out = f"{atom.alias}@bcast"
+        exchange_ops.append(
+            Exchange(
+                kind=ExchangeKind.BROADCAST,
+                input=atom.alias,
+                out=out,
+                name=f"Broadcast {atom.alias}",
+                phase="broadcast",
+                skip_if_anchor=True,
+            )
+        )
+        slot_of[atom.alias] = out
+    broadcast_round = Round(label="broadcast", ops=tuple(exchange_ops))
+
+    if strategy.join is JoinKind.TRIBUTARY:
+        order = _resolve_order(query, catalog, variable_order)
+        local = LocalTributaryJoin(
+            query=scanned_query(query),
+            inputs=tuple((alias, slot_of[alias]) for alias in aliases),
+            out="result",
+            order=order,
+        )
+        return PhysicalPlan(
+            query=query,
+            strategy=strategy.name,
+            rounds=(
+                scan_round,
+                broadcast_round,
+                Round(label="local tributary join", ops=(local,)),
+            ),
+            result="result",
+            result_kind=RESULT_ROWS,
+            left_deep=plan,
+            variable_order=order,
+            pending=pending,
+        )
+
+    ops, result, result_vars = _hash_pipeline_ops(query, plan, pending, slot_of)
+    return PhysicalPlan(
+        query=query,
+        strategy=strategy.name,
+        rounds=(
+            scan_round,
+            broadcast_round,
+            Round(label="local hash pipeline", ops=tuple(ops)),
+        ),
+        result=result,
+        result_kind=RESULT_FRAMES,
+        head_indices=_head_indices(query, result_vars),
+        left_deep=plan,
+        pending=pending,
+    )
+
+
+def lower_hypercube(
+    query: ConjunctiveQuery,
+    strategy: Strategy,
+    catalog: Catalog,
+    plan: Optional[LeftDeepPlan] = None,
+    hc_config: Optional[HyperCubeConfig] = None,
+    variable_order: Optional[Sequence[Variable]] = None,
+    hc_seed: int = 0,
+) -> PhysicalPlan:
+    """Lower HC_HJ / HC_TJ: one HyperCube shuffle of every atom, then a
+    single local evaluation round on the configuration's used workers."""
+    scan_round, pending = _scan_round(query)
+    aliases = tuple(atom.alias for atom in query.atoms)
+    shuffle_ops: list[PhysicalOp] = [
+        ConfigureHyperCube(aliases=aliases, config=hc_config, seed=hc_seed)
+    ]
+    slot_of: dict[str, str] = {}
+    for atom in query.atoms:
+        out = f"{atom.alias}@hc"
+        shuffle_ops.append(
+            Exchange(
+                kind=ExchangeKind.HYPERCUBE,
+                input=atom.alias,
+                out=out,
+                atom=atom,
+                name=f"HCS {atom.alias}",
+                phase="hypercube shuffle",
+            )
+        )
+        slot_of[atom.alias] = out
+    shuffle_round = Round(label="hypercube shuffle", ops=tuple(shuffle_ops))
+
+    if strategy.join is JoinKind.TRIBUTARY:
+        order = _resolve_order(query, catalog, variable_order)
+        local = LocalTributaryJoin(
+            query=scanned_query(query),
+            inputs=tuple((alias, slot_of[alias]) for alias in aliases),
+            out="result",
+            order=order,
+        )
+        return PhysicalPlan(
+            query=query,
+            strategy=strategy.name,
+            rounds=(
+                scan_round,
+                shuffle_round,
+                Round(
+                    label="local tributary join",
+                    ops=(local,),
+                    local_workers=LOCAL_HC,
+                ),
+            ),
+            result="result",
+            result_kind=RESULT_ROWS,
+            dedup_full=True,
+            left_deep=plan,
+            variable_order=order,
+            pending=pending,
+        )
+
+    plan = plan or left_deep_plan(query, catalog)
+    ops, result, result_vars = _hash_pipeline_ops(query, plan, pending, slot_of)
+    return PhysicalPlan(
+        query=query,
+        strategy=strategy.name,
+        rounds=(
+            scan_round,
+            shuffle_round,
+            Round(
+                label="local hash pipeline",
+                ops=tuple(ops),
+                local_workers=LOCAL_HC,
+            ),
+        ),
+        result=result,
+        result_kind=RESULT_FRAMES,
+        head_indices=_head_indices(query, result_vars),
+        dedup_full=True,
+        left_deep=plan,
+        pending=pending,
+    )
+
+
+def lower_semijoin(
+    query: ConjunctiveQuery,
+    catalog: Catalog,
+) -> PhysicalPlan:
+    """Lower the Sec. 3.6 semijoin plan: a bottom-up then top-down pass of
+    distributed semijoin rounds over the join tree, then the RS_HJ pipeline
+    over the reduced relations — all in the same IR.
+
+    Raises ``ValueError`` for cyclic queries — only acyclic queries admit
+    full semijoin reductions."""
+    from .plans import RS_HJ
+
+    tree = join_tree(query)  # raises for cyclic queries
+    scan_round, pending = _scan_round(query)
+    atoms = {atom.alias: atom for atom in query.atoms}
+    slot_of = {atom.alias: atom.alias for atom in query.atoms}
+
+    def shared_of(a: str, b: str) -> tuple[Variable, ...]:
+        return tuple(
+            v for v in atoms[a].variables() if v in set(atoms[b].variables())
+        )
+
+    def semijoin_round(
+        target: str, source: str, label: str, phase: str,
+        shared: tuple[Variable, ...],
+    ) -> Round:
+        key = canonical_key(shared)
+        keys_slot = f"keys@{phase}"
+        keys_part = f"{keys_slot}.part"
+        target_part = f"{target}@{phase}"
+        reduced = f"{target}@{phase}.reduced"
+        ops: tuple[PhysicalOp, ...] = (
+            SemiJoinProject(
+                source=slot_of[source],
+                out=keys_slot,
+                key=key,
+                phase=f"{phase}:project",
+            ),
+            Exchange(
+                kind=ExchangeKind.REGULAR,
+                input=slot_of[target],
+                out=target_part,
+                key=key,
+                name=f"SJ {label} target -> h{tuple(v.name for v in key)}",
+                phase=f"{phase}:shuffle",
+            ),
+            Exchange(
+                kind=ExchangeKind.REGULAR,
+                input=keys_slot,
+                out=keys_part,
+                key=key,
+                name=f"SJ {label} keys -> h{tuple(v.name for v in key)}",
+                phase=f"{phase}:shuffle",
+                release_input=False,
+            ),
+            SemiJoinFilter(
+                target=target_part,
+                keys=keys_part,
+                out=reduced,
+                key=key,
+                phase=f"{phase}:semijoin",
+            ),
+        )
+        slot_of[target] = reduced
+        return Round(label=f"semijoin {label} [{phase}]", ops=ops)
+
+    rounds: list[Round] = []
+    # Bottom-up: each removed ear reduces its parent.
+    for position, child in enumerate(tree.removal_order):
+        parent = tree.parents[child]
+        if parent is None:
+            continue
+        shared = shared_of(parent, child)
+        if not shared:
+            continue
+        rounds.append(
+            semijoin_round(
+                target=parent,
+                source=child,
+                label=f"{parent}<-{child}",
+                phase=f"semijoin-up{position}",
+                shared=shared,
+            )
+        )
+    # Top-down: parents reduce their children, in reverse removal order.
+    for position, child in enumerate(reversed(tree.removal_order)):
+        parent = tree.parents[child]
+        if parent is None:
+            continue
+        shared = shared_of(child, parent)
+        if not shared:
+            continue
+        rounds.append(
+            semijoin_round(
+                target=child,
+                source=parent,
+                label=f"{child}<-{parent}",
+                phase=f"semijoin-down{position}",
+                shared=shared,
+            )
+        )
+
+    plan = left_deep_plan(query, catalog)
+    join_rounds, result, result_vars = _regular_rounds(
+        query, RS_HJ, plan, pending, slot_of
+    )
+    return PhysicalPlan(
+        query=query,
+        strategy=SEMIJOIN_STRATEGY,
+        rounds=(scan_round, *rounds, *join_rounds),
+        result=result,
+        result_kind=RESULT_FRAMES,
+        head_indices=_head_indices(query, result_vars),
+        left_deep=plan,
+        pending=pending,
+    )
+
+
+def lower(
+    query: ConjunctiveQuery,
+    strategy: StrategyLike,
+    catalog: Catalog,
+    plan: Optional[LeftDeepPlan] = None,
+    hc_config: Optional[HyperCubeConfig] = None,
+    variable_order: Optional[Sequence[Variable]] = None,
+    hc_seed: int = 0,
+) -> PhysicalPlan:
+    """Lower a query to a :class:`PhysicalPlan` for any strategy.
+
+    ``strategy`` is a :class:`~repro.planner.plans.Strategy`, one of the six
+    grid names, or ``"SJ_HJ"`` for the semijoin-reduction plan."""
+    if isinstance(strategy, str):
+        if strategy == SEMIJOIN_STRATEGY:
+            return lower_semijoin(query, catalog)
+        try:
+            strategy = Strategy.parse(strategy)
+        except ValueError:
+            valid = ", ".join(
+                [s.name for s in ALL_STRATEGIES] + [SEMIJOIN_STRATEGY]
+            )
+            raise ValueError(
+                f"unknown strategy {strategy!r}; valid: {valid}"
+            ) from None
+    if strategy.shuffle is ShuffleKind.REGULAR:
+        return lower_regular(query, strategy, catalog, plan=plan)
+    if strategy.shuffle is ShuffleKind.BROADCAST:
+        return lower_broadcast(
+            query, strategy, catalog, plan=plan, variable_order=variable_order
+        )
+    return lower_hypercube(
+        query,
+        strategy,
+        catalog,
+        plan=plan,
+        hc_config=hc_config,
+        variable_order=variable_order,
+        hc_seed=hc_seed,
+    )

@@ -14,6 +14,12 @@ Each distributed semijoin ``R ⋉ S`` on shared attributes ``A``:
    sides must be re-shuffled because every relation is distributed — this
    extra communication is why semijoins did not pay off in their workload);
 3. *Local join* — filter ``R`` by set membership.
+
+The whole pass is expressed in the physical-plan IR
+(:func:`~repro.planner.physical.lower_semijoin` emits the multi-round
+``SemiJoinProject``/``Exchange``/``SemiJoinFilter`` sequence followed by
+the RS_HJ pipeline over the reduced slots) and executed by the same
+operator scheduler as the six grid strategies.
 """
 
 from __future__ import annotations
@@ -21,89 +27,11 @@ from __future__ import annotations
 from typing import Optional
 
 from ..engine.cluster import Cluster
-from ..engine.frame import Frame
-from ..engine.runtime import RuntimeLike, WorkerRuntime, resolve_runtime
-from ..engine.stats import ExecutionStats
-from ..query.atoms import ConjunctiveQuery, Variable
+from ..engine.runtime import RuntimeLike
+from ..query.atoms import ConjunctiveQuery
 from ..query.catalog import Catalog
-from ..query.hypergraph import join_tree
-from .binary import left_deep_plan
-from .executor import (
-    ExecutionResult,
-    _canonical,
-    _scan_atoms,
-    run_regular_pipeline,
-)
-from .plans import RS_HJ
-from ..engine.shuffle import regular_shuffle
-
-
-def _distributed_semijoin(
-    target: list[Frame],
-    source: list[Frame],
-    shared: tuple[Variable, ...],
-    cluster: Cluster,
-    stats: ExecutionStats,
-    label: str,
-    phase: str,
-    runtime: WorkerRuntime,
-) -> list[Frame]:
-    """Replace ``target`` with ``target ⋉ source`` on the shared variables."""
-    workers = cluster.workers
-    key = _canonical(shared)
-
-    # local preprocessing: project + dedup the source
-    projected: list[Frame] = []
-    for worker, frame in enumerate(source):
-        stats.charge(worker, len(frame), f"{phase}:project")
-        projected.append(frame.project(key, dedup=True))
-
-    # the old target partitioning streams out as the shuffle sends, so its
-    # residency is freed before the receive buffers fill
-    cluster.release_frames(target)
-    shuffled_target = regular_shuffle(
-        target,
-        key,
-        workers,
-        stats,
-        name=f"SJ {label} target -> h{tuple(v.name for v in key)}",
-        phase=f"{phase}:shuffle",
-        memory=cluster.memory,
-    )
-    shuffled_source = regular_shuffle(
-        projected,
-        key,
-        workers,
-        stats,
-        name=f"SJ {label} keys -> h{tuple(v.name for v in key)}",
-        phase=f"{phase}:shuffle",
-        memory=cluster.memory,
-    )
-
-    def semijoin_task(worker, ledger):
-        keys = set(shuffled_source[worker].rows)
-        indices = shuffled_target[worker].indices_of(key)
-        kept = [
-            row
-            for row in shuffled_target[worker].rows
-            if tuple(row[i] for i in indices) in keys
-        ]
-        ledger.stats.charge(
-            worker,
-            len(shuffled_target[worker].rows) + len(keys),
-            f"{phase}:semijoin",
-        )
-        # the key buffer and the filtered-out target rows leave memory
-        released = len(shuffled_source[worker].rows) + (
-            len(shuffled_target[worker].rows) - len(kept)
-        )
-        if released:
-            ledger.memory.release(worker, released)
-        return Frame(shuffled_target[worker].variables, kept)
-
-    return runtime.map_workers(
-        range(workers), semijoin_task, stats, cluster.memory
-    )
+from .executor import ExecutionResult, execute_physical
+from .physical import lower_semijoin
 
 
 def execute_semijoin(
@@ -111,6 +39,7 @@ def execute_semijoin(
     cluster: Cluster,
     catalog: Optional[Catalog] = None,
     runtime: RuntimeLike = None,
+    kernels: Optional[str] = None,
 ) -> ExecutionResult:
     """Full semijoin plan: reduce all relations, then a regular RS_HJ join.
 
@@ -119,62 +48,6 @@ def execute_semijoin(
     """
     if cluster.database is None:
         raise RuntimeError("cluster has no loaded database; call cluster.load()")
-    tree = join_tree(query)  # raises for cyclic queries
     catalog = catalog or Catalog(cluster.database)
-    worker_runtime = resolve_runtime(runtime)
-    stats = ExecutionStats(
-        query=query.name, strategy="SJ_HJ", workers=cluster.workers
-    )
-    cluster.memory.reset()
-
-    frames, pending = _scan_atoms(query, cluster, stats)
-    atoms = {atom.alias: atom for atom in query.atoms}
-
-    def shared_of(a: str, b: str) -> tuple[Variable, ...]:
-        return tuple(
-            v for v in atoms[a].variables() if v in set(atoms[b].variables())
-        )
-
-    # Bottom-up: each removed ear reduces its parent.
-    for position, child in enumerate(tree.removal_order):
-        parent = tree.parents[child]
-        if parent is None:
-            continue
-        shared = shared_of(parent, child)
-        if not shared:
-            continue
-        frames[parent] = _distributed_semijoin(
-            frames[parent],
-            frames[child],
-            shared,
-            cluster,
-            stats,
-            label=f"{parent}<-{child}",
-            phase=f"semijoin-up{position}",
-            runtime=worker_runtime,
-        )
-
-    # Top-down: parents reduce their children, in reverse removal order.
-    for position, child in enumerate(reversed(tree.removal_order)):
-        parent = tree.parents[child]
-        if parent is None:
-            continue
-        shared = shared_of(child, parent)
-        if not shared:
-            continue
-        frames[child] = _distributed_semijoin(
-            frames[child],
-            frames[parent],
-            shared,
-            cluster,
-            stats,
-            label=f"{child}<-{parent}",
-            phase=f"semijoin-down{position}",
-            runtime=worker_runtime,
-        )
-
-    plan = left_deep_plan(query, catalog)
-    rows = run_regular_pipeline(
-        query, cluster, RS_HJ, plan, stats, frames, pending, worker_runtime
-    )
-    return ExecutionResult(rows=rows, stats=stats, plan=plan)
+    physical = lower_semijoin(query, catalog)
+    return execute_physical(physical, cluster, runtime=runtime, kernels=kernels)

@@ -1,0 +1,44 @@
+"""Regenerate ``physical_plans.json``: rendered lowered plans, Q1..Q8.
+
+Run from the repo root when lowering output changes on purpose::
+
+    PYTHONPATH=src python tests/golden/capture_physical_plans.py
+
+Every workload is lowered for all six grid strategies, plus the Sec. 3.6
+semijoin plan for the acyclic workloads, against the unit-scale catalog
+(lowering consults cardinalities for the left-deep order, the broadcast
+anchor candidates, and partition-key reuse, so the catalog is part of the
+snapshot's identity).
+"""
+
+import json
+import os
+
+from repro.planner.physical import SEMIJOIN_STRATEGY, lower
+from repro.planner.plans import ALL_STRATEGIES
+from repro.query.catalog import Catalog
+from repro.workloads.registry import PAPER_ORDER, get_workload
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "physical_plans.json")
+
+
+def capture() -> dict[str, list[str]]:
+    snapshots: dict[str, list[str]] = {}
+    for name in PAPER_ORDER:
+        workload = get_workload(name)
+        catalog = Catalog(workload.dataset("unit"))
+        strategies = [s.name for s in ALL_STRATEGIES]
+        if not workload.cyclic:
+            strategies.append(SEMIJOIN_STRATEGY)
+        for strategy in strategies:
+            plan = lower(workload.query, strategy, catalog)
+            snapshots[f"{name}/{strategy}"] = plan.render().splitlines()
+    return snapshots
+
+
+if __name__ == "__main__":
+    snapshots = capture()
+    with open(OUT_PATH, "w") as handle:
+        json.dump(snapshots, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(snapshots)} plan snapshots to {OUT_PATH}")

@@ -1,0 +1,141 @@
+"""Capture the executor's counted metrics as golden differential data.
+
+Runs every workload (Q1..Q8) x strategy (the six grid points plus SJ_HJ on
+the acyclic queries) at unit scale plus a few out-of-memory cases, and
+records everything the paper counts — ordered result rows (as a digest),
+tuples shuffled, per-shuffle skews, per-phase CPU/wall, peak memory, OOM
+outcomes — into ``seed_executor_metrics.json``.
+
+The committed JSON was captured at the pre-IR seed executor (commit
+56d3084, the hand-written per-strategy execution loops), so the
+differential suite (``tests/test_ir_differential.py``) proves the
+physical-plan IR + scheduler reproduce the seed executor bit-for-bit.
+Re-run this script only to extend coverage, never to paper over a metric
+change::
+
+    PYTHONPATH=src python tests/golden/capture_seed_metrics.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from repro.engine.cluster import Cluster
+from repro.engine.memory import MemoryBudget
+from repro.engine.stats import ExecutionStats
+from repro.planner.executor import execute
+from repro.planner.plans import ALL_STRATEGIES
+from repro.planner.semijoin import execute_semijoin
+from repro.query.parser import parse_query
+from repro.storage.generators import twitter_database
+from repro.workloads.registry import PAPER_ORDER, get_workload
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "seed_executor_metrics.json")
+
+#: acyclic workloads that admit the Sec. 3.6 semijoin plan
+ACYCLIC = ("Q3", "Q7")
+
+#: out-of-memory cases: (label, query text or workload, strategy, workers,
+#: per-worker tuple budget) — exercising the FAIL outcome end to end
+TRIANGLE = "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)."
+OOM_CASES = (
+    ("OOM_SCAN", "RS_HJ", 2, 50),  # fails while registering scan residency
+    ("OOM_RS_TJ", "RS_TJ", 2, 10899),  # admits RS_HJ's peak, fails in the sort
+    ("OOM_RS_HJ", "RS_HJ", 2, 9000),  # fails mid join pipeline
+    ("OOM_BR_TJ", "BR_TJ", 3, 4000),  # fails in the local Tributary join
+)
+
+WORKERS = 4
+
+
+def rows_digest(rows) -> str:
+    """Order-sensitive digest of the result rows."""
+    return hashlib.sha256(repr(list(rows)).encode()).hexdigest()
+
+
+def stats_record(stats: ExecutionStats, rows, extras: Optional[dict] = None) -> dict:
+    """Everything counted (no measured wall-time) for one execution."""
+    record = {
+        "rows_sha256": rows_digest(rows),
+        "result_count": stats.result_count,
+        "failed": stats.failed,
+        "failure": stats.failure,
+        "tuples_shuffled": stats.tuples_shuffled,
+        "total_cpu": stats.total_cpu,
+        "wall_clock": stats.wall_clock,
+        "cpu_skew": stats.cpu_skew,
+        "max_consumer_skew": stats.max_consumer_skew,
+        "shuffles": [
+            [r.name, r.tuples_sent, r.producer_skew, r.consumer_skew]
+            for r in stats.shuffles
+        ],
+        "phases": [
+            [phase, stats.phase_cpu(phase), stats.phase_wall(phase)]
+            for phase in stats.phases()
+        ],
+        "peak_memory": {
+            str(w): stats.peak_memory[w] for w in sorted(stats.peak_memory)
+        },
+    }
+    record.update(extras or {})
+    return record
+
+
+def capture() -> dict:
+    """Run every configuration and collect its golden record."""
+    cases: dict[str, dict] = {}
+    for name in PAPER_ORDER:
+        workload = get_workload(name)
+        database = workload.dataset("unit")
+        for strategy in ALL_STRATEGIES:
+            cluster = Cluster(WORKERS)
+            cluster.load(database)
+            result = execute(workload.query, cluster, strategy)
+            cases[f"{name}/{strategy.name}"] = stats_record(
+                result.stats,
+                result.rows,
+                {
+                    "hc_config": repr(result.hc_config) if result.hc_config else None,
+                    "variable_order": (
+                        [v.name for v in result.variable_order]
+                        if result.variable_order
+                        else None
+                    ),
+                    "plan_order": list(result.plan.order) if result.plan else None,
+                },
+            )
+            print(f"  {name}/{strategy.name}: {result.stats.summary()}")
+        if name in ACYCLIC:
+            cluster = Cluster(WORKERS)
+            cluster.load(database)
+            result = execute_semijoin(workload.query, cluster)
+            cases[f"{name}/SJ_HJ"] = stats_record(
+                result.stats,
+                result.rows,
+                {"plan_order": list(result.plan.order) if result.plan else None},
+            )
+            print(f"  {name}/SJ_HJ: {result.stats.summary()}")
+
+    oom_db = twitter_database(nodes=200, edges=900, seed=5)
+    triangle = parse_query(TRIANGLE)
+    for label, strategy_name, workers, budget in OOM_CASES:
+        strategy = next(s for s in ALL_STRATEGIES if s.name == strategy_name)
+        cluster = Cluster(workers, MemoryBudget(per_worker_tuples=budget))
+        cluster.load(oom_db)
+        result = execute(triangle, cluster, strategy)
+        cases[label] = stats_record(
+            result.stats, result.rows, {"workers": workers, "budget": budget}
+        )
+        print(f"  {label}: {result.stats.summary()}")
+    return cases
+
+
+if __name__ == "__main__":
+    data = capture()
+    with open(OUT_PATH, "w") as handle:
+        json.dump(data, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(data)} cases to {OUT_PATH}")

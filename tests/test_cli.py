@@ -21,6 +21,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["grid", "Q99"])
 
+    def test_explain_defaults(self):
+        args = build_parser().parse_args(["explain", TRIANGLE])
+        assert args.strategy == "HC_TJ"
+        assert args.analyze is False
+        assert args.workers == 16
+
 
 class TestCommands:
     def test_run_prints_metrics(self, capsys):
@@ -29,6 +35,35 @@ class TestCommands:
         assert code == 0
         assert "tuples shuffled" in captured
         assert "hypercube" in captured
+
+    def test_run_prints_memory_and_phases(self, capsys):
+        code = main(["run", TRIANGLE, "--workers", "4", "--strategy", "RS_HJ"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "peak memory" in captured
+        assert "phases:" in captured
+        assert "step1:shuffle" in captured
+        assert "step1:join" in captured
+
+    def test_explain_renders_plan(self, capsys):
+        code = main(["explain", TRIANGLE, "--workers", "4",
+                     "--strategy", "RS_HJ"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "left-deep plan" in captured
+        assert "physical plan" in captured
+        assert "exchange[regular]" in captured
+        assert "hash-join" in captured
+
+    def test_explain_analyze_annotates_and_conserves(self, capsys):
+        code = main(["explain", TRIANGLE, "--workers", "4",
+                     "--strategy", "HC_TJ", "--analyze"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "(analyzed)" in captured
+        assert "tuples in=" in captured
+        assert "totals: cpu=" in captured
+        assert "peak memory" in captured
 
     def test_grid_unit_scale(self, capsys):
         code = main(["grid", "Q7", "--workers", "4", "--scale", "unit"])

@@ -1,0 +1,117 @@
+"""Differential suite: IR execution ≡ the seed executor, bit for bit.
+
+``tests/golden/seed_executor_metrics.json`` was captured from the
+hand-written per-strategy executor (commit 56d3084) before the physical-plan
+IR existed: every workload x strategy at unit scale plus mid-plan OOM
+cases, recording ordered result rows (as a digest), tuples shuffled,
+per-shuffle skews, per-phase CPU/wall, peak memory, and failure outcomes.
+These tests re-run every case through the lowering + scheduler path and
+require exact equality — the tentpole invariant of the refactor.
+
+The suite honors two environment switches so CI can sweep the whole
+matrix without duplicating test code:
+
+- ``REPRO_DIFF_RUNTIME`` — worker runtime spec (default ``serial``);
+- ``REPRO_KERNELS``     — kernel backend (the engine-wide default).
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.engine.cluster import Cluster
+from repro.engine.memory import MemoryBudget
+from repro.planner.executor import execute
+from repro.planner.plans import ALL_STRATEGIES
+from repro.planner.semijoin import execute_semijoin
+from repro.query.parser import parse_query
+from repro.storage.generators import twitter_database
+from repro.workloads.registry import get_workload
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "seed_executor_metrics.json"
+)
+with open(GOLDEN_PATH) as _handle:
+    GOLDEN = json.load(_handle)
+
+RUNTIME = os.environ.get("REPRO_DIFF_RUNTIME", "serial")
+WORKERS = 4
+TRIANGLE = "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)."
+
+STRATEGIES = {s.name: s for s in ALL_STRATEGIES}
+GRID_CASES = sorted(k for k in GOLDEN if "/" in k)
+OOM_CASES = sorted(k for k in GOLDEN if "/" not in k)
+
+_DATASETS: dict = {}
+
+
+def unit_dataset(name):
+    """Memoize unit datasets: generating Freebase per case is the slow part."""
+    if name not in _DATASETS:
+        _DATASETS[name] = get_workload(name).dataset("unit")
+    return _DATASETS[name]
+
+
+def rows_digest(rows) -> str:
+    return hashlib.sha256(repr(list(rows)).encode()).hexdigest()
+
+
+def assert_matches(result, expected):
+    stats = result.stats
+    assert rows_digest(result.rows) == expected["rows_sha256"]
+    assert stats.result_count == expected["result_count"]
+    assert stats.failed == expected["failed"]
+    assert stats.failure == expected["failure"]
+    assert stats.tuples_shuffled == expected["tuples_shuffled"]
+    assert stats.total_cpu == expected["total_cpu"]
+    assert stats.wall_clock == expected["wall_clock"]
+    assert stats.cpu_skew == expected["cpu_skew"]
+    assert stats.max_consumer_skew == expected["max_consumer_skew"]
+    assert [
+        [r.name, r.tuples_sent, r.producer_skew, r.consumer_skew]
+        for r in stats.shuffles
+    ] == expected["shuffles"]
+    assert [
+        [phase, stats.phase_cpu(phase), stats.phase_wall(phase)]
+        for phase in stats.phases()
+    ] == expected["phases"]
+    assert {
+        str(w): stats.peak_memory[w] for w in sorted(stats.peak_memory)
+    } == expected["peak_memory"]
+
+
+@pytest.mark.parametrize("case", GRID_CASES)
+def test_grid_case_matches_seed(case):
+    name, strategy_name = case.split("/")
+    workload = get_workload(name)
+    cluster = Cluster(WORKERS)
+    cluster.load(unit_dataset(name))
+    if strategy_name == "SJ_HJ":
+        result = execute_semijoin(workload.query, cluster, runtime=RUNTIME)
+    else:
+        result = execute(
+            workload.query, cluster, STRATEGIES[strategy_name], runtime=RUNTIME
+        )
+    expected = GOLDEN[case]
+    assert_matches(result, expected)
+    if expected.get("hc_config") is not None:
+        assert repr(result.hc_config) == expected["hc_config"]
+    if expected.get("variable_order") is not None:
+        assert [v.name for v in result.variable_order] == expected["variable_order"]
+    if expected.get("plan_order") is not None:
+        assert list(result.plan.order) == expected["plan_order"]
+
+
+@pytest.mark.parametrize("case", OOM_CASES)
+def test_oom_case_matches_seed(case):
+    expected = GOLDEN[case]
+    strategy = STRATEGIES[case.replace("OOM_", "").replace("SCAN", "RS_HJ")]
+    cluster = Cluster(
+        expected["workers"],
+        MemoryBudget(per_worker_tuples=expected["budget"]),
+    )
+    cluster.load(twitter_database(nodes=200, edges=900, seed=5))
+    result = execute(parse_query(TRIANGLE), cluster, strategy, runtime=RUNTIME)
+    assert_matches(result, expected)
