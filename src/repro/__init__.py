@@ -28,9 +28,13 @@ Quickstart::
 from .engine import (
     Cluster,
     ExecutionStats,
+    FailureReport,
+    FaultPlan,
+    FaultSpec,
     MemoryBudget,
     OutOfMemoryError,
     ParallelRuntime,
+    RecoveryPolicy,
     SerialRuntime,
     resolve_runtime,
 )
@@ -77,12 +81,16 @@ __all__ = [
     "Database",
     "ExecutionResult",
     "ExecutionStats",
+    "FailureReport",
+    "FaultPlan",
+    "FaultSpec",
     "HyperCubeConfig",
     "HyperCubeMapping",
     "MemoryBudget",
     "OutOfMemoryError",
     "ParallelRuntime",
     "PhysicalPlan",
+    "RecoveryPolicy",
     "Relation",
     "SerialRuntime",
     "SortedRelation",

@@ -20,8 +20,18 @@ Examples
         --dataset twitter --strategy HC_TJ --workers 16
     python -m repro explain "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)." \
         --dataset twitter --workers 16 --analyze --strategy RS_HJ
+    python -m repro run "..." --faults plan.json --recovery retry
     python -m repro grid Q1 --workers 16 --scale unit
     python -m repro config Q2 --workers 15
+
+Exit codes
+----------
+- 0 — success (including a ``degrade`` recovery that fell back and succeeded)
+- 1 — generic execution failure
+- 2 — usage error: bad arguments, unknown strategy/dataset/recovery spec,
+  unreadable fault plan (argparse errors also exit 2)
+- 3 — the query aborted on a (simulated) out-of-memory condition
+- 4 — an injected fault exhausted its recovery policy (fault abort)
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .engine.faults import FaultPlan, resolve_policy
 from .engine.kernels import KERNEL_BACKENDS, set_backend
 from .experiments.harness import format_figure, run_workload
 from .hypercube.config import optimize_config
@@ -41,15 +52,53 @@ from .storage.generators import freebase_database, twitter_database
 from .workloads.registry import PAPER_ORDER, WORKLOADS, get_workload
 
 
+#: documented exit codes (see the module docstring)
+EXIT_OK = 0
+EXIT_FAIL = 1
+EXIT_USAGE = 2
+EXIT_OOM = 3
+EXIT_FAULT = 4
+
+
 def _dataset(name: str):
+    """Build a built-in dataset by name (usage error for unknown names)."""
     if name == "twitter":
         return twitter_database()
     if name == "freebase":
         return freebase_database()
-    raise SystemExit(f"unknown dataset {name!r}; use 'twitter' or 'freebase'")
+    raise ValueError(f"unknown dataset {name!r}; use 'twitter' or 'freebase'")
+
+
+def _load_faults(args: argparse.Namespace):
+    """Load ``--faults plan.json`` into a FaultPlan (None when absent)."""
+    if not getattr(args, "faults", None):
+        return None
+    try:
+        return FaultPlan.load(args.faults)
+    except OSError as error:
+        raise ValueError(f"cannot read fault plan {args.faults!r}: {error}") from None
+
+
+def _recovery(args: argparse.Namespace):
+    """Validate ``--recovery`` eagerly so a bad spec is a usage error
+    even when no fault plan is supplied."""
+    spec = getattr(args, "recovery", None)
+    if spec is None:
+        return None
+    return resolve_policy(spec)
+
+
+def _failure_code(result) -> int:
+    """Map a FAILed ExecutionResult to its documented exit code."""
+    if result.failure_report is not None:
+        return EXIT_FAULT
+    if result.stats.failure_kind == "oom":
+        return EXIT_OOM
+    return EXIT_FAIL
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    """The ``run`` command: execute one query, print its counted metrics."""
     if args.kernels:
         set_backend(args.kernels)
     database = _dataset(args.dataset)
@@ -58,12 +107,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         database,
         strategy=args.strategy,
         workers=args.workers,
+        memory_tuples=args.memory_tuples,
         runtime=args.runtime,
+        faults=_load_faults(args),
+        recovery=_recovery(args),
     )
     stats = result.stats
     if result.failed:
         print(f"FAILED: {stats.failure}")
-        return 1
+        return _failure_code(result)
     print(f"results:         {len(result.rows):,}")
     print(f"tuples shuffled: {stats.tuples_shuffled:,}")
     print(f"wall clock:      {stats.wall_clock:,.0f} work units")
@@ -72,6 +124,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"peak memory:     {peak:,} tuples (fullest worker)")
     if result.hc_config is not None:
         print(f"hypercube:       {result.hc_config}")
+    if stats.retries or stats.faults_injected:
+        print(
+            f"recovery:        {stats.faults_injected} fault(s) injected, "
+            f"{stats.retries} round retr{'y' if stats.retries == 1 else 'ies'}, "
+            f"{stats.phase_cpu('recovery'):,.0f} work units charged"
+        )
+    if result.failure_report is not None:
+        print(f"degraded:        {result.failure_report.describe()}")
     print("phases:")
     for phase in stats.phases():
         print(
@@ -81,10 +141,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.show_rows:
         for row in result.rows[: args.show_rows]:
             print("  ", row)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    """The ``explain`` command; with ``--analyze`` it executes the plan."""
     database = _dataset(args.dataset)
     if args.analyze:
         analyzed = explain_analyze(
@@ -94,17 +155,22 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             workers=args.workers,
             runtime=args.runtime,
             kernels=args.kernels,
+            faults=_load_faults(args),
+            recovery=_recovery(args),
         )
         print(analyzed.render())
-        return 1 if analyzed.result.failed else 0
+        if analyzed.result.failed:
+            return _failure_code(analyzed.result)
+        return EXIT_OK
     explanation = explain(
         args.query, database, workers=args.workers, strategy=args.strategy
     )
     print(explanation.render())
-    return 0
+    return EXIT_OK
 
 
 def _cmd_grid(args: argparse.Namespace) -> int:
+    """The ``grid`` command: one workload under all six configurations."""
     if args.kernels:
         set_backend(args.kernels)
     grid = run_workload(
@@ -120,6 +186,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
 
 
 def _cmd_config(args: argparse.Namespace) -> int:
+    """The ``config`` command: shares + Algorithm-1 configuration."""
     if args.workload_or_query in WORKLOADS:
         workload = get_workload(args.workload_or_query)
         query = workload.query
@@ -139,6 +206,7 @@ def _cmd_config(args: argparse.Namespace) -> int:
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
+    """The ``workloads`` command: list the paper's registered queries."""
     for name in PAPER_ORDER:
         workload = WORKLOADS[name]
         kind = "cyclic" if workload.cyclic else "acyclic"
@@ -148,6 +216,7 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Assemble the ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="HyperCube shuffle + Tributary join on a simulated cluster",
@@ -166,6 +235,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="kernel backend (default: $REPRO_KERNELS or numpy)")
     run_cmd.add_argument("--show-rows", type=int, default=0,
                          help="print the first N result rows")
+    run_cmd.add_argument("--memory-tuples", type=int, default=None,
+                         help="per-worker tuple budget (default: unlimited)")
+    run_cmd.add_argument("--faults", default=None, metavar="PLAN.JSON",
+                         help="JSON fault plan to inject (see engine/faults.py)")
+    run_cmd.add_argument("--recovery", default=None,
+                         help="recovery policy: 'retry[:N]', 'degrade', or "
+                              "'fail' (default: retry)")
     run_cmd.set_defaults(func=_cmd_run)
 
     explain_cmd = commands.add_parser(
@@ -184,6 +260,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="worker runtime: 'serial' or 'parallel[:N]'")
     explain_cmd.add_argument("--kernels", choices=KERNEL_BACKENDS, default=None,
                              help="kernel backend (default: $REPRO_KERNELS or numpy)")
+    explain_cmd.add_argument("--faults", default=None, metavar="PLAN.JSON",
+                             help="JSON fault plan to inject (with --analyze)")
+    explain_cmd.add_argument("--recovery", default=None,
+                             help="recovery policy: 'retry[:N]', 'degrade', or "
+                                  "'fail' (default: retry)")
     explain_cmd.set_defaults(func=_cmd_explain)
 
     grid_cmd = commands.add_parser("grid", help="run a workload's 6-config grid")
@@ -217,9 +298,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns one of the documented exit codes.
+
+    Configuration errors the argument parser cannot catch — an unknown
+    strategy, dataset, or recovery spec, or an unreadable/invalid fault
+    plan — surface as :class:`ValueError` from the layers below and exit
+    with the usage code (2), matching argparse's own convention.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":

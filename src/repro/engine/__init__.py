@@ -1,6 +1,17 @@
 """The simulated shared-nothing execution engine."""
 
 from .cluster import Cluster
+from .faults import (
+    FailureReport,
+    FaultAbort,
+    FaultPlan,
+    FaultSession,
+    FaultSpec,
+    InjectedFault,
+    RecoveryPolicy,
+    resolve_faults,
+    resolve_policy,
+)
 from .frame import Frame, atom_frame, frame_relation
 from .hash_join import apply_comparisons, join_output_variables, symmetric_hash_join
 from .kernels import (
@@ -21,20 +32,36 @@ from .runtime import (
 )
 from .scheduler import OperatorTrace, ScheduledRun, run_plan
 from .shuffle import broadcast, hash_row, hypercube_shuffle, regular_shuffle
-from .stats import ExecutionStats, ShuffleRecord, WorkerStats, skew_factor
+from .stats import (
+    RECOVERY_PHASE,
+    ExecutionStats,
+    ShuffleRecord,
+    StatsCheckpoint,
+    WorkerStats,
+    skew_factor,
+)
 
 __all__ = [
     "Cluster",
     "ExecutionStats",
+    "FailureReport",
+    "FaultAbort",
+    "FaultPlan",
+    "FaultSession",
+    "FaultSpec",
     "Frame",
+    "InjectedFault",
     "KERNEL_BACKENDS",
     "MemoryBudget",
     "OperatorTrace",
     "OutOfMemoryError",
     "ParallelRuntime",
+    "RECOVERY_PHASE",
+    "RecoveryPolicy",
     "ScheduledRun",
     "SerialRuntime",
     "ShuffleRecord",
+    "StatsCheckpoint",
     "WorkerLedger",
     "WorkerMemoryAccount",
     "WorkerRuntime",
@@ -51,6 +78,8 @@ __all__ = [
     "local_tributary_join",
     "regular_shuffle",
     "resolve_backend",
+    "resolve_faults",
+    "resolve_policy",
     "resolve_runtime",
     "run_plan",
     "scanned_query",

@@ -1,0 +1,488 @@
+"""Deterministic fault injection and the Round-level recovery policy.
+
+Layer: engine / faults (consulted by the scheduler at Round boundaries and
+operator completion points; configured from the CLI via ``--faults`` /
+``--recovery`` and programmatically via ``run_query(faults=...)``).
+
+The paper's single-round evaluation makes wall clock equal to the slowest
+worker, so worker failures and stragglers are exactly the adversities a
+production-scale reproduction must model.  This module provides:
+
+- a **FaultPlan DSL** — a seedable, JSON-loadable list of
+  :class:`FaultSpec` entries describing *deterministic* adversities: a
+  worker crash at a Round boundary or inside a named stat phase, a
+  straggler slowdown multiplier, the loss of a shuffle's partitions, or an
+  injected (transient) per-worker OOM;
+- a **recovery policy** — :class:`RecoveryPolicy` selects what the
+  scheduler does when an injected fault fires: ``retry`` re-runs the failed
+  Round from surviving lineage (bounded attempts, optional exponential
+  backoff charged to the cost model), ``degrade`` lets the executor fall
+  back to a more conservative strategy (BR -> RS), and ``fail`` aborts with
+  a structured :class:`FailureReport`.
+
+Everything is counted, never timed: a straggler multiplies the charges a
+worker's operators record, a retry re-charges the wasted attempt into the
+:data:`~repro.engine.stats.RECOVERY_PHASE` phase, and the same FaultPlan
+seed produces bit-identical metrics under every worker runtime and kernel
+backend.  An empty plan injects nothing and leaves execution bit-identical
+to the fault-free golden captures.
+
+The recovery model leans on the Round structure of the physical-plan IR:
+every Round is a barrier whose inputs (prior slots and the cluster's
+round-robin fragments) survive a failed attempt, so re-running the Round is
+always possible from lineage — fragments are durable, and the scheduler's
+checkpoint/rollback restores stats, residency, and trace to the barrier.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from .runtime import WorkerLedger
+from .stats import WorkerStats
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultAbort",
+    "FaultPlan",
+    "FaultSession",
+    "FaultSpec",
+    "FailureReport",
+    "InjectedFault",
+    "RECOVERY_MODES",
+    "RecoveryPolicy",
+    "resolve_faults",
+    "resolve_policy",
+]
+
+#: the four injectable adversities
+FAULT_KINDS = ("crash", "straggler", "partition_loss", "oom")
+
+#: the three recovery dispositions a policy may select
+RECOVERY_MODES = ("retry", "degrade", "fail")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic adversity to inject.
+
+    ``kind`` is one of :data:`FAULT_KINDS`:
+
+    - ``"crash"`` — the target worker dies.  With ``phase=None`` it dies at
+      the Round boundary (before running any local operator); with a phase
+      name it dies right after the operator charging that phase completes
+      (matching either a local operator on the target worker or a driver-side
+      global operator).
+    - ``"straggler"`` — the target worker runs ``factor`` times slower: every
+      charge its local operators record is multiplied by ``factor``.
+      Stragglers are slowdowns, not failures — they fire on every attempt and
+      are never retried.
+    - ``"partition_loss"`` — the output partitions of the exchange whose
+      shuffle-record name contains ``exchange`` are lost after the exchange
+      completes; the Round must be recomputed.
+    - ``"oom"`` — a transient allocator failure on the target worker at the
+      Round boundary.  Unlike a genuine budget breach
+      (:class:`~repro.engine.memory.OutOfMemoryError`, which always aborts),
+      an injected OOM is recoverable by retrying the Round.
+
+    ``round`` targets a Round by index (int) or label (str); ``None`` means
+    every round.  ``worker`` is the target worker id, or ``None`` to draw one
+    deterministically from the plan's seed.  ``attempts`` lists the Round
+    attempt numbers on which the fault fires (default: first attempt only),
+    so a retried Round succeeds unless the spec says otherwise.
+    """
+
+    kind: str
+    round: Union[int, str, None] = None
+    worker: Optional[int] = None
+    phase: Optional[str] = None
+    exchange: Optional[str] = None
+    factor: float = 1.0
+    attempts: tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; valid: {', '.join(FAULT_KINDS)}"
+            )
+        if self.kind == "straggler" and self.factor <= 1.0:
+            raise ValueError("a straggler needs factor > 1.0")
+        if self.kind == "partition_loss" and not self.exchange:
+            raise ValueError("partition_loss needs an exchange name fragment")
+
+    def matches_round(self, round_index: int, label: str) -> bool:
+        """Whether this spec targets the given Round."""
+        if self.round is None:
+            return True
+        if isinstance(self.round, int):
+            return self.round == round_index
+        return self.round == label
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic collection of faults to inject.
+
+    The JSON form (accepted by :meth:`from_dict` / :meth:`load` and the CLI's
+    ``--faults plan.json``)::
+
+        {"seed": 42,
+         "faults": [
+           {"kind": "crash", "round": "step 1", "worker": 1,
+            "phase": "step1:join", "attempts": [0]},
+           {"kind": "straggler", "worker": 0, "factor": 3.0},
+           {"kind": "partition_loss", "round": 2, "exchange": "RS S"},
+           {"kind": "oom", "round": 1}
+         ]}
+
+    ``seed`` only matters for specs with ``worker: null`` — the target worker
+    is drawn from ``random.Random`` seeded by ``(seed, fault index)``, so the
+    same plan hits the same workers on every run, runtime, and backend.
+    """
+
+    faults: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not self.faults
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Build a plan from the JSON-dict form documented on the class."""
+        specs = []
+        for entry in data.get("faults", ()):
+            entry = dict(entry)
+            if "attempts" in entry:
+                entry["attempts"] = tuple(entry["attempts"])
+            specs.append(FaultSpec(**entry))
+        return cls(faults=tuple(specs), seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse the JSON text form of a plan."""
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Load a plan from a JSON file (the CLI's ``--faults`` argument)."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+
+FaultsLike = Union[FaultPlan, dict, None]
+
+
+def resolve_faults(spec: FaultsLike) -> Optional[FaultPlan]:
+    """Normalize a faults argument: a plan, its dict form, or ``None``.
+
+    Empty plans normalize to ``None`` so callers can gate the entire fault
+    machinery on a single ``is None`` check — the fault-free path stays
+    bit-identical to the golden captures.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, dict):
+        spec = FaultPlan.from_dict(spec)
+    if not isinstance(spec, FaultPlan):
+        raise TypeError(f"faults must be a FaultPlan or dict, got {spec!r}")
+    return None if spec.is_empty() else spec
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """What the scheduler does when an injected fault fires.
+
+    ``mode`` is one of :data:`RECOVERY_MODES`.  Under ``retry`` a failed
+    Round is re-run from surviving lineage at most ``max_retries`` times;
+    each retry charges the wasted attempt's work into the ``recovery`` stats
+    phase plus ``backoff_units * 2**attempt`` units of backoff against the
+    crashed worker.  When retries are exhausted — or under ``degrade`` /
+    ``fail`` immediately — a :class:`FaultAbort` carrying a structured
+    :class:`FailureReport` is raised; the executor then degrades BR -> RS
+    (mode ``degrade``, broadcast strategies only) or reports the failure.
+    """
+
+    mode: str = "retry"
+    max_retries: int = 2
+    backoff_units: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in RECOVERY_MODES:
+            raise ValueError(
+                f"unknown recovery mode {self.mode!r}; "
+                f"valid: {', '.join(RECOVERY_MODES)}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+
+PolicyLike = Union[str, RecoveryPolicy, None]
+
+
+def resolve_policy(spec: PolicyLike) -> RecoveryPolicy:
+    """Turn a policy spec into a :class:`RecoveryPolicy`.
+
+    Accepts an existing policy, ``None`` (→ the default retry policy), or
+    the CLI spellings ``"retry"``, ``"retry:N"`` (N bounded retries),
+    ``"degrade"``, and ``"fail"``.
+    """
+    if spec is None:
+        return RecoveryPolicy()
+    if isinstance(spec, RecoveryPolicy):
+        return spec
+    text = str(spec).strip().lower()
+    if text.startswith("retry:"):
+        try:
+            count = int(text.split(":", 1)[1])
+        except ValueError:
+            raise ValueError(
+                f"bad recovery spec {spec!r}; use 'retry[:N]', 'degrade', or 'fail'"
+            ) from None
+        return RecoveryPolicy(mode="retry", max_retries=count)
+    if text in RECOVERY_MODES:
+        return RecoveryPolicy(mode=text)
+    raise ValueError(
+        f"unknown recovery policy {spec!r}; use 'retry[:N]', 'degrade', or 'fail'"
+    )
+
+
+class InjectedFault(Exception):
+    """An injected adversity fired (internal control flow, always caught).
+
+    Raised by :class:`FaultSession` hooks inside a Round attempt; the
+    scheduler's recovery loop catches it at the Round barrier and either
+    retries the Round or escalates to :class:`FaultAbort`.
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        round_index: int,
+        round_label: str,
+        worker: Optional[int],
+        phase: Optional[str] = None,
+    ) -> None:
+        where = f"round {round_index} <{round_label}>"
+        if phase:
+            where += f" phase {phase!r}"
+        super().__init__(
+            f"injected {spec.kind} on worker {worker} at {where}"
+        )
+        self.spec = spec
+        self.round_index = round_index
+        self.round_label = round_label
+        self.worker = worker
+        self.phase = phase
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Structured description of an unrecovered fault (the abort artifact).
+
+    Carried by :class:`FaultAbort` and attached to the
+    :class:`~repro.planner.executor.ExecutionResult` as ``failure_report``.
+    ``lineage`` lists the slots the failed Round consumed — the inputs a
+    recompute would need, all reconstructible from the durable round-robin
+    fragments and earlier Rounds.  ``disposition`` is ``"aborted"`` or, once
+    the executor has fallen back to a regular shuffle, ``"degraded"``.
+    """
+
+    kind: str
+    worker: Optional[int]
+    round_index: int
+    round_label: str
+    phase: Optional[str]
+    attempts_used: int
+    policy: str
+    disposition: str = "aborted"
+    fallback: Optional[str] = None
+    lineage: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """One-line human-readable form (printed by the CLI on abort)."""
+        where = f"round {self.round_index} <{self.round_label}>"
+        if self.phase:
+            where += f" phase {self.phase!r}"
+        text = (
+            f"injected {self.kind} on worker {self.worker} at {where} "
+            f"after {self.attempts_used} attempt(s) under policy "
+            f"{self.policy!r}: {self.disposition}"
+        )
+        if self.fallback:
+            text += f" to {self.fallback}"
+        if self.lineage:
+            text += f" [lineage: {', '.join(self.lineage)}]"
+        return text
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for harness tables and tooling)."""
+        return {
+            "kind": self.kind,
+            "worker": self.worker,
+            "round_index": self.round_index,
+            "round_label": self.round_label,
+            "phase": self.phase,
+            "attempts_used": self.attempts_used,
+            "policy": self.policy,
+            "disposition": self.disposition,
+            "fallback": self.fallback,
+            "lineage": list(self.lineage),
+        }
+
+
+class FaultAbort(Exception):
+    """A fault exhausted its recovery policy; execution cannot continue.
+
+    The executor catches this: under ``degrade`` it re-plans BR -> RS and
+    re-executes fault-free, otherwise it marks the result FAILed with the
+    attached :class:`FailureReport`.
+    """
+
+    def __init__(self, report: FailureReport) -> None:
+        super().__init__(report.describe())
+        self.report = report
+
+
+class _StragglerStats:
+    """Write-through stats proxy that multiplies every charge by a factor.
+
+    Wraps one worker task's :class:`~repro.engine.stats.WorkerStats` ledger;
+    the runtime still commits the *underlying* ledger, so the inflation is
+    visible to every derived metric exactly as if the worker were slower.
+    """
+
+    def __init__(self, inner: WorkerStats, factor: float) -> None:
+        self._inner = inner
+        self._factor = factor
+
+    def charge(self, worker: int, amount: float, phase: str) -> None:
+        """Charge the slowed-down amount into the underlying ledger."""
+        self._inner.charge(worker, amount * self._factor, phase)
+
+    def record_memory(self, worker: int, resident_tuples: int) -> None:
+        """Memory observations pass through unscaled."""
+        self._inner.record_memory(worker, resident_tuples)
+
+
+class FaultSession:
+    """One execution's view of a fault plan: resolved targets plus hooks.
+
+    Built by the executor when a non-empty plan is supplied.  Worker targets
+    left as ``None`` in the plan are resolved here with the plan's seed, so
+    a session is deterministic given (plan, cluster size).  The scheduler
+    calls the hooks at well-defined points; each hook either returns quietly
+    or raises :class:`InjectedFault`:
+
+    - :meth:`at_worker` — a worker task is starting (Round-boundary crashes
+      and injected OOMs fire here);
+    - :meth:`after_local_op` — a local operator finished on a worker
+      (phase-targeted crashes fire here);
+    - :meth:`after_global_op` — a driver-side operator finished (global
+      phase crashes and partition loss fire here);
+    - :meth:`wrap_ledger` — intercepts a worker's ledger so straggler
+      charges are inflated;
+    - :meth:`needs_recovery` — whether any recoverable fault targets a
+      Round, i.e. whether the scheduler should checkpoint it.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, policy: RecoveryPolicy, workers: int
+    ) -> None:
+        self.plan = plan
+        self.policy = policy
+        self.workers = workers
+        self._targets: list[Optional[int]] = []
+        for index, spec in enumerate(plan.faults):
+            if spec.kind != "partition_loss" and spec.worker is None:
+                # str seeds hash via sha512 — stable across runs and
+                # interpreters, unaffected by PYTHONHASHSEED
+                draw = random.Random(f"{plan.seed}:{index}")
+                self._targets.append(draw.randrange(workers))
+            else:
+                self._targets.append(spec.worker)
+
+    def target(self, spec_index: int) -> Optional[int]:
+        """The resolved target worker of one spec (None for partition loss)."""
+        return self._targets[spec_index]
+
+    def _active(self, kind: str, round_index: int, label: str, attempt: int):
+        for index, spec in enumerate(self.plan.faults):
+            if spec.kind != kind:
+                continue
+            if not spec.matches_round(round_index, label):
+                continue
+            if kind != "straggler" and attempt not in spec.attempts:
+                continue
+            yield index, spec
+
+    def needs_recovery(self, round_index: int, label: str) -> bool:
+        """Whether any recoverable (non-straggler) fault targets this Round."""
+        return any(
+            spec.kind != "straggler" and spec.matches_round(round_index, label)
+            for spec in self.plan.faults
+        )
+
+    def at_worker(self, round_index: int, label: str, attempt: int, worker: int):
+        """Fire Round-boundary crashes and injected OOMs for this worker."""
+        for kind in ("crash", "oom"):
+            for index, spec in self._active(kind, round_index, label, attempt):
+                if kind == "crash" and spec.phase is not None:
+                    continue
+                if self._targets[index] == worker:
+                    raise InjectedFault(spec, round_index, label, worker)
+
+    def after_local_op(
+        self, round_index: int, label: str, attempt: int, worker: int, op
+    ) -> None:
+        """Fire phase-targeted crashes after a local operator on a worker."""
+        for index, spec in self._active("crash", round_index, label, attempt):
+            if spec.phase is None or self._targets[index] != worker:
+                continue
+            if spec.phase in op.phases:
+                raise InjectedFault(spec, round_index, label, worker, spec.phase)
+
+    def after_global_op(
+        self, round_index: int, label: str, attempt: int, op
+    ) -> None:
+        """Fire global phase crashes and partition loss after a driver op."""
+        for index, spec in self._active("crash", round_index, label, attempt):
+            if spec.phase is not None and spec.phase in op.phases:
+                raise InjectedFault(
+                    spec, round_index, label, self._targets[index], spec.phase
+                )
+        name = getattr(op, "name", None)
+        if name is None:
+            return
+        for _, spec in self._active("partition_loss", round_index, label, attempt):
+            if spec.exchange in name:
+                raise InjectedFault(spec, round_index, label, None, op.phase)
+
+    def straggler_factor(self, round_index: int, label: str, worker: int) -> float:
+        """The combined slowdown multiplier for a worker in a Round (1.0 = none)."""
+        factor = 1.0
+        for index, spec in self._active("straggler", round_index, label, 0):
+            if self._targets[index] == worker:
+                factor *= spec.factor
+        return factor
+
+    def wrap_ledger(
+        self, round_index: int, label: str, ledger: WorkerLedger
+    ) -> WorkerLedger:
+        """Return a straggler-slowed view of a worker's ledger (or it unchanged).
+
+        The returned ledger shares the memory account and writes charges
+        through to the original stats ledger (inflated), so the runtime's
+        commit path is untouched.
+        """
+        factor = self.straggler_factor(round_index, label, ledger.worker)
+        if factor == 1.0:
+            return ledger
+        return WorkerLedger(
+            worker=ledger.worker,
+            stats=_StragglerStats(ledger.stats, factor),
+            memory=ledger.memory,
+        )

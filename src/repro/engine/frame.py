@@ -33,21 +33,26 @@ class Frame:
         return len(self.rows)
 
     def index_of(self, variable: Variable) -> int:
+        """Column position of ``variable`` (KeyError when absent)."""
         try:
             return self.variables.index(variable)
         except ValueError:
             raise KeyError(f"frame has no variable {variable!r}") from None
 
     def indices_of(self, variables: Sequence[Variable]) -> tuple[int, ...]:
+        """Column positions of ``variables``, in the order given."""
         return tuple(self.index_of(v) for v in variables)
 
     def project(self, variables: Sequence[Variable], dedup: bool = False) -> "Frame":
+        """Reorder/restrict columns to ``variables``; ``dedup`` drops
+        duplicate rows while preserving first-seen order."""
         indices = self.indices_of(variables)
         projected = (tuple(row[i] for i in indices) for row in self.rows)
         rows = list(dict.fromkeys(projected)) if dedup else list(projected)
         return Frame(tuple(variables), rows)
 
     def empty_like(self) -> "Frame":
+        """A zero-row frame with this frame's schema."""
         return Frame(self.variables, [])
 
     def __repr__(self) -> str:

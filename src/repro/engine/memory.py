@@ -1,5 +1,8 @@
 """Per-worker memory budgets and the OOM failure mode.
 
+Layer: engine / accounting (enforced inside shuffles and local operators,
+reset per execution by the executor, checkpointed by the recovery layer).
+
 The paper's engines are in-memory; when a plan materializes an intermediate
 result that exceeds worker memory, the query fails (Fig. 9: RS_TJ on Q4
 "fails because it runs out of memory").  The simulator models worker memory
@@ -51,6 +54,7 @@ class MemoryBudget:
     _peak: dict[int, int] = field(default_factory=dict)
 
     def allocate(self, worker: int, tuples: int, phase: str = "") -> None:
+        """Register ``tuples`` as resident; raise on a budget breach."""
         resident = self._resident.get(worker, 0) + tuples
         self._resident[worker] = resident
         if resident > self._peak.get(worker, 0):
@@ -59,20 +63,39 @@ class MemoryBudget:
             raise OutOfMemoryError(worker, phase, resident, self.per_worker_tuples)
 
     def release(self, worker: int, tuples: int) -> None:
+        """Drop ``tuples`` from the worker's residency (floored at zero)."""
         self._resident[worker] = max(0, self._resident.get(worker, 0) - tuples)
 
     def release_all(self, worker: int) -> None:
+        """Drop the worker's entire residency."""
         self._resident[worker] = 0
 
     def resident(self, worker: int) -> int:
+        """Tuples currently registered as resident on ``worker``."""
         return self._resident.get(worker, 0)
 
     def peak(self, worker: int) -> int:
+        """The worker's high-water resident tuple count."""
         return self._peak.get(worker, 0)
 
     def reset(self) -> None:
+        """Clear residency and peaks (a fresh execution on the same cluster)."""
         self._resident.clear()
         self._peak.clear()
+
+    # -- Round checkpoint/rollback (the recovery layer's hooks) --------------
+
+    def checkpoint_residency(self) -> dict[int, int]:
+        """Snapshot per-worker residency at a Round boundary.
+
+        Peaks are not part of the snapshot: a failed Round attempt really
+        did hold its tuples, so its high-water marks survive the rollback.
+        """
+        return dict(self._resident)
+
+    def restore_residency(self, snapshot: dict[int, int]) -> None:
+        """Restore a :meth:`checkpoint_residency` snapshot (peaks kept)."""
+        self._resident = dict(snapshot)
 
     # -- worker-task isolation ----------------------------------------------
 
@@ -124,6 +147,7 @@ class WorkerMemoryAccount:
             )
 
     def allocate(self, worker: int, tuples: int, phase: str = "") -> None:
+        """Register ``tuples`` against this task; raise on a budget breach."""
         self._check_worker(worker)
         self._delta += tuples
         resident = self.baseline + self._delta
@@ -133,14 +157,17 @@ class WorkerMemoryAccount:
             raise OutOfMemoryError(worker, phase, resident, self.limit)
 
     def release(self, worker: int, tuples: int) -> None:
+        """Drop ``tuples`` from this task's residency (floored at zero)."""
         self._check_worker(worker)
         self._delta = max(-self.baseline, self._delta - tuples)
 
     def resident(self, worker: int) -> int:
+        """Baseline plus this task's net allocation so far."""
         self._check_worker(worker)
         return self.baseline + self._delta
 
     def peak(self, worker: int) -> int:
+        """This task's high-water resident count (starts at the baseline)."""
         self._check_worker(worker)
         return self._peak
 

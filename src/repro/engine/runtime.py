@@ -105,6 +105,8 @@ class SerialRuntime(WorkerRuntime):
         stats: ExecutionStats,
         memory: MemoryBudget,
     ) -> list:
+        """Run ``task`` for each worker sequentially, committing each
+        ledger (even on failure) before moving on."""
         values = []
         for worker in worker_ids:
             ledger = _open_ledger(worker, memory)
@@ -141,6 +143,8 @@ class ParallelRuntime(WorkerRuntime):
         stats: ExecutionStats,
         memory: MemoryBudget,
     ) -> list:
+        """Run ``task`` for each worker on the pool, then merge ledgers
+        in worker order so counted metrics match :class:`SerialRuntime`."""
         ids = list(worker_ids)
         if not ids:
             return []

@@ -26,12 +26,24 @@ anchor.  Traces are appended as operators complete, so a failed (OOM) run
 leaves a truthful partial trace; the EXPLAIN ANALYZE layer
 (:mod:`~repro.planner.explain`) joins traces with
 :class:`~repro.engine.stats.ExecutionStats` phases to annotate the plan.
+
+Fault injection and recovery (:mod:`~repro.engine.faults`) hook in at the
+Round barrier: a Round targeted by a recoverable fault is checkpointed
+(stats charges, shuffle records, memory residency, slot bindings, trace
+length) before it runs; when an :class:`~repro.engine.faults.InjectedFault`
+fires mid-Round, the checkpoint is rolled back and the Round is re-run from
+surviving lineage — prior slots are untouched and scan rounds re-read the
+cluster's durable fragments — with the wasted attempt's work re-charged
+into the ``recovery`` stats phase.  With no fault session the hooks are
+never consulted and execution is bit-identical to the fault-free captures.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
+
+from .faults import FaultAbort, FaultSession, FailureReport, InjectedFault
 
 from ..hypercube.config import HyperCubeConfig, optimize_config
 from ..hypercube.mapping import HyperCubeMapping
@@ -42,7 +54,7 @@ from .hash_join import apply_comparisons, symmetric_hash_join
 from .local import local_tributary_join
 from .runtime import WorkerLedger, WorkerRuntime
 from .shuffle import broadcast, hypercube_shuffle, regular_shuffle
-from .stats import ExecutionStats
+from .stats import RECOVERY_PHASE, ExecutionStats
 
 __all__ = ["OperatorTrace", "ScheduledRun", "run_plan"]
 
@@ -189,12 +201,353 @@ def _scanned_sizes(slots: dict, aliases) -> dict[str, int]:
     }
 
 
+@dataclass
+class _ExecState:
+    """The mutable driver-side bindings a plan execution accumulates.
+
+    ``slots`` maps slot names to per-worker payloads; the remaining fields
+    are the run-time decisions (HyperCube configuration and mapping, the
+    broadcast anchor) bound by the data-driven global operators.  Grouped in
+    one object so the recovery layer can snapshot and restore everything a
+    Round may have written.
+    """
+
+    slots: dict[str, list[SlotValue]] = field(default_factory=dict)
+    hc_config: Optional[HyperCubeConfig] = None
+    mapping: Optional[HyperCubeMapping] = None
+    anchor: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class _RoundCheckpoint:
+    """Everything needed to roll an execution back to a Round boundary.
+
+    Slot payloads are never mutated in place by operators (every operator
+    writes fresh frames), so a shallow copy of the slot map suffices; the
+    stats snapshot and residency snapshot restore the accounting, and the
+    trace length truncates the failed attempt's trace entries.
+    """
+
+    stats_checkpoint: object
+    residency: dict[int, int]
+    slots: dict[str, list[SlotValue]]
+    hc_config: Optional[HyperCubeConfig]
+    mapping: Optional[HyperCubeMapping]
+    anchor: Optional[str]
+    trace_length: int
+
+    @classmethod
+    def capture(
+        cls,
+        stats: ExecutionStats,
+        cluster: Cluster,
+        state: _ExecState,
+        trace: Optional[list[OperatorTrace]],
+    ) -> "_RoundCheckpoint":
+        """Snapshot stats, residency, slots, bindings, and trace length."""
+        return cls(
+            stats_checkpoint=stats.checkpoint(),
+            residency=cluster.memory.checkpoint_residency(),
+            slots=dict(state.slots),
+            hc_config=state.hc_config,
+            mapping=state.mapping,
+            anchor=state.anchor,
+            trace_length=0 if trace is None else len(trace),
+        )
+
+    def rollback(
+        self,
+        stats: ExecutionStats,
+        cluster: Cluster,
+        state: _ExecState,
+        trace: Optional[list[OperatorTrace]],
+    ) -> dict[int, float]:
+        """Restore the boundary state; return per-worker wasted charges."""
+        wasted = stats.rollback(self.stats_checkpoint)
+        cluster.memory.restore_residency(self.residency)
+        state.slots = dict(self.slots)
+        state.hc_config = self.hc_config
+        state.mapping = self.mapping
+        state.anchor = self.anchor
+        if trace is not None:
+            del trace[self.trace_length:]
+        return wasted
+
+
+def _run_round(
+    plan: PhysicalPlan,
+    round_: "Round",
+    round_index: int,
+    cluster: Cluster,
+    stats: ExecutionStats,
+    runtime: WorkerRuntime,
+    trace: Optional[list[OperatorTrace]],
+    state: _ExecState,
+    faults: Optional[FaultSession] = None,
+    attempt: int = 0,
+) -> None:
+    """Execute one Round: global operators, then the fused local task.
+
+    With a fault session, injection hooks are consulted after every global
+    operator, at each worker task's start, and after every local operator;
+    without one (``faults is None``) the hooks are never touched and the
+    Round runs exactly as the fault-free golden captures pin down.
+    """
+    encoder = cluster.encoder()
+    workers = cluster.workers
+    slots = state.slots
+    label = round_.label
+
+    def record(entry: OperatorTrace) -> None:
+        """Append a trace entry when the caller asked for tracing."""
+        if trace is not None:
+            trace.append(entry)
+
+    def slot_tuples(name: str) -> int:
+        """Total tuples currently bound to one slot across workers."""
+        return sum(len(value) for value in slots[name])
+
+    for op_index, op in enumerate(round_.ops):
+        if not op.GLOBAL:
+            continue
+        if isinstance(op, Scan):
+            per_worker: list[Frame] = []
+            for worker in range(workers):
+                relation = cluster.fragment_relation(op.atom.relation, worker)
+                frame = atom_frame(op.atom, relation, encoder)
+                for comparison in op.filters:
+                    index = {v: i for i, v in enumerate(frame.variables)}
+                    frame = Frame(
+                        frame.variables,
+                        [
+                            row
+                            for row in frame.rows
+                            if comparison.evaluate(
+                                {v: row[i] for v, i in index.items()}
+                            )
+                        ],
+                    )
+                per_worker.append(frame)
+            slots[op.out] = per_worker
+            for worker, frame in enumerate(per_worker):
+                if len(frame):
+                    cluster.memory.allocate(worker, len(frame), "scan")
+                    stats.record_memory(worker, cluster.memory.resident(worker))
+            record(
+                OperatorTrace(
+                    round_index, op_index, op,
+                    tuples_out=slot_tuples(op.out),
+                )
+            )
+        elif isinstance(op, ChooseAnchor):
+            sizes = _scanned_sizes(slots, op.aliases)
+            state.anchor = max(sizes, key=lambda alias: sizes[alias])
+            record(OperatorTrace(round_index, op_index, op))
+        elif isinstance(op, ConfigureHyperCube):
+            sizes = _scanned_sizes(slots, op.aliases)
+            state.hc_config = op.config or optimize_config(
+                plan.query, sizes, workers
+            )
+            state.mapping = HyperCubeMapping(state.hc_config, seed=op.seed)
+            record(OperatorTrace(round_index, op_index, op))
+        elif isinstance(op, Exchange):
+            frames = slots[op.input]
+            if op.skip_if_anchor and op.input == state.anchor:
+                # anchor fragments stay in place; the scan already
+                # registered their residency, so nothing moves
+                slots[op.out] = frames
+                record(
+                    OperatorTrace(
+                        round_index, op_index, op,
+                        tuples_in=slot_tuples(op.input),
+                        tuples_out=slot_tuples(op.out),
+                        skipped=True,
+                    )
+                )
+                continue
+            if op.release_input:
+                # the exchange streams the old partitioning out as it
+                # sends, so its residency is freed before receive
+                # buffers fill
+                cluster.release_frames(frames)
+            if op.kind is ExchangeKind.REGULAR:
+                slots[op.out] = regular_shuffle(
+                    frames,
+                    op.key,
+                    workers,
+                    stats,
+                    name=op.name,
+                    phase=op.phase,
+                    memory=cluster.memory,
+                )
+            elif op.kind is ExchangeKind.BROADCAST:
+                slots[op.out] = broadcast(
+                    frames,
+                    workers,
+                    stats,
+                    name=op.name,
+                    phase=op.phase,
+                    memory=cluster.memory,
+                )
+            else:
+                slots[op.out] = hypercube_shuffle(
+                    frames,
+                    op.atom,
+                    state.mapping,
+                    workers,
+                    stats,
+                    name=op.name,
+                    phase=op.phase,
+                    memory=cluster.memory,
+                )
+            record(
+                OperatorTrace(
+                    round_index, op_index, op,
+                    tuples_in=sum(len(f) for f in frames),
+                    tuples_out=slot_tuples(op.out),
+                    shuffle_index=len(stats.shuffles) - 1,
+                )
+            )
+        elif isinstance(op, SemiJoinProject):
+            source = slots[op.source]
+            projected: list[Frame] = []
+            for worker, frame in enumerate(source):
+                stats.charge(worker, len(frame), op.phase)
+                projected.append(frame.project(op.key, dedup=True))
+            slots[op.out] = projected
+            record(
+                OperatorTrace(
+                    round_index, op_index, op,
+                    tuples_in=sum(len(f) for f in source),
+                    tuples_out=slot_tuples(op.out),
+                )
+            )
+        else:  # pragma: no cover - lowering only emits the ops above
+            raise TypeError(f"unknown global operator {op!r}")
+        if faults is not None:
+            faults.after_global_op(round_index, label, attempt, op)
+
+    local = round_.local_ops()
+    if not local:
+        return
+    if round_.local_workers == LOCAL_HC:
+        worker_ids = range(state.mapping.workers_used)
+    else:
+        worker_ids = range(workers)
+
+    def local_task(worker: int, ledger: WorkerLedger, ops=local):
+        """Run the round's fused local operators as one worker task."""
+        if faults is not None:
+            faults.at_worker(round_index, label, attempt, worker)
+            ledger = faults.wrap_ledger(round_index, label, ledger)
+        produced: dict[str, SlotValue] = {}
+
+        def read(name: str) -> SlotValue:
+            """Resolve a slot: this task's output, else the shared binding."""
+            return produced[name] if name in produced else slots[name][worker]
+
+        def write(name: str, value: SlotValue) -> None:
+            """Bind an operator output within this task."""
+            produced[name] = value
+
+        for op in ops:
+            _run_local_op(op, worker, ledger, read, write)
+            if faults is not None:
+                faults.after_local_op(round_index, label, attempt, worker, op)
+        return produced
+
+    outcomes = runtime.map_workers(worker_ids, local_task, stats, cluster.memory)
+    local_positions = [
+        i for i, candidate in enumerate(round_.ops) if not candidate.GLOBAL
+    ]
+    for op_offset, op in enumerate(local):
+        inputs = list(op.input_slots())
+        tuples_in = sum(slot_tuples(name) for name in inputs if name in slots)
+        slots[op.out] = [produced[op.out] for produced in outcomes]
+        record(
+            OperatorTrace(
+                round_index,
+                local_positions[op_offset],
+                op,
+                tuples_in=tuples_in
+                + sum(
+                    len(produced[name])
+                    for produced in outcomes
+                    for name in inputs
+                    if name not in slots
+                ),
+                tuples_out=slot_tuples(op.out),
+            )
+        )
+
+
+def _run_round_recovering(
+    plan: PhysicalPlan,
+    round_: "Round",
+    round_index: int,
+    cluster: Cluster,
+    stats: ExecutionStats,
+    runtime: WorkerRuntime,
+    trace: Optional[list[OperatorTrace]],
+    state: _ExecState,
+    faults: FaultSession,
+) -> None:
+    """Run one fault-targeted Round under the session's recovery policy.
+
+    The Round boundary is checkpointed; when an injected fault fires the
+    checkpoint is rolled back and — under the ``retry`` policy, while
+    attempts remain — the Round is re-run from surviving lineage, with the
+    wasted attempt's per-worker charges plus exponential backoff re-charged
+    into the ``recovery`` stats phase.  Exhausted retries (or the
+    ``degrade``/``fail`` policies) raise :class:`~repro.engine.faults.FaultAbort`
+    with a structured report; the aborted attempt's partial charges and
+    trace are kept, mirroring the genuine-OOM contract.  A real
+    :class:`~repro.engine.memory.OutOfMemoryError` is never caught here.
+    """
+    policy = faults.policy
+    attempt = 0
+    while True:
+        checkpoint = _RoundCheckpoint.capture(stats, cluster, state, trace)
+        try:
+            _run_round(
+                plan, round_, round_index, cluster, stats, runtime,
+                trace, state, faults, attempt,
+            )
+            return
+        except InjectedFault as fault:
+            stats.faults_injected += 1
+            if policy.mode == "retry" and attempt < policy.max_retries:
+                wasted = checkpoint.rollback(stats, cluster, state, trace)
+                for worker in sorted(wasted):
+                    if wasted[worker]:
+                        stats.charge(worker, wasted[worker], RECOVERY_PHASE)
+                backoff = policy.backoff_units * (2 ** attempt)
+                if backoff and fault.worker is not None:
+                    stats.charge(fault.worker, backoff, RECOVERY_PHASE)
+                stats.retries += 1
+                attempt += 1
+                continue
+            raise FaultAbort(
+                FailureReport(
+                    kind=fault.spec.kind,
+                    worker=fault.worker,
+                    round_index=round_index,
+                    round_label=round_.label,
+                    phase=fault.phase,
+                    attempts_used=attempt + 1,
+                    policy=policy.mode,
+                    lineage=round_.consumed_slots(),
+                )
+            ) from fault
+
+
 def run_plan(
     plan: PhysicalPlan,
     cluster: Cluster,
     stats: ExecutionStats,
     runtime: WorkerRuntime,
     trace: Optional[list[OperatorTrace]] = None,
+    faults: Optional[FaultSession] = None,
 ) -> ScheduledRun:
     """Execute a physical plan on a loaded cluster.
 
@@ -204,192 +557,29 @@ def run_plan(
     bindings (HyperCube configuration, broadcast anchor).
     :class:`~repro.engine.memory.OutOfMemoryError` propagates to the caller
     with ``stats`` and ``trace`` reflecting the partial execution.
+
+    ``faults`` (a :class:`~repro.engine.faults.FaultSession`) enables fault
+    injection: Rounds targeted by a recoverable fault run under the
+    session's recovery policy (checkpoint, retry-with-recompute, or
+    :class:`~repro.engine.faults.FaultAbort`), and stragglers slow their
+    target workers in every Round.  With ``faults=None`` execution is
+    bit-identical to the fault-free golden captures.
     """
-    encoder = cluster.encoder()
-    workers = cluster.workers
-    slots: dict[str, list[SlotValue]] = {}
-    hc_config: Optional[HyperCubeConfig] = None
-    mapping: Optional[HyperCubeMapping] = None
-    anchor: Optional[str] = None
-
-    def record(entry: OperatorTrace) -> None:
-        if trace is not None:
-            trace.append(entry)
-
-    def slot_tuples(name: str) -> int:
-        return sum(len(value) for value in slots[name])
-
+    state = _ExecState()
     for round_index, round_ in enumerate(plan.rounds):
-        for op_index, op in enumerate(round_.ops):
-            if not op.GLOBAL:
-                continue
-            if isinstance(op, Scan):
-                per_worker: list[Frame] = []
-                for worker in range(workers):
-                    relation = cluster.fragment_relation(op.atom.relation, worker)
-                    frame = atom_frame(op.atom, relation, encoder)
-                    for comparison in op.filters:
-                        index = {v: i for i, v in enumerate(frame.variables)}
-                        frame = Frame(
-                            frame.variables,
-                            [
-                                row
-                                for row in frame.rows
-                                if comparison.evaluate(
-                                    {v: row[i] for v, i in index.items()}
-                                )
-                            ],
-                        )
-                    per_worker.append(frame)
-                slots[op.out] = per_worker
-                for worker, frame in enumerate(per_worker):
-                    if len(frame):
-                        cluster.memory.allocate(worker, len(frame), "scan")
-                        stats.record_memory(worker, cluster.memory.resident(worker))
-                record(
-                    OperatorTrace(
-                        round_index, op_index, op,
-                        tuples_out=slot_tuples(op.out),
-                    )
-                )
-            elif isinstance(op, ChooseAnchor):
-                sizes = _scanned_sizes(slots, op.aliases)
-                anchor = max(sizes, key=lambda alias: sizes[alias])
-                record(OperatorTrace(round_index, op_index, op))
-            elif isinstance(op, ConfigureHyperCube):
-                sizes = _scanned_sizes(slots, op.aliases)
-                hc_config = op.config or optimize_config(
-                    plan.query, sizes, workers
-                )
-                mapping = HyperCubeMapping(hc_config, seed=op.seed)
-                record(OperatorTrace(round_index, op_index, op))
-            elif isinstance(op, Exchange):
-                frames = slots[op.input]
-                if op.skip_if_anchor and op.input == anchor:
-                    # anchor fragments stay in place; the scan already
-                    # registered their residency, so nothing moves
-                    slots[op.out] = frames
-                    record(
-                        OperatorTrace(
-                            round_index, op_index, op,
-                            tuples_in=slot_tuples(op.input),
-                            tuples_out=slot_tuples(op.out),
-                            skipped=True,
-                        )
-                    )
-                    continue
-                if op.release_input:
-                    # the exchange streams the old partitioning out as it
-                    # sends, so its residency is freed before receive
-                    # buffers fill
-                    cluster.release_frames(frames)
-                if op.kind is ExchangeKind.REGULAR:
-                    slots[op.out] = regular_shuffle(
-                        frames,
-                        op.key,
-                        workers,
-                        stats,
-                        name=op.name,
-                        phase=op.phase,
-                        memory=cluster.memory,
-                    )
-                elif op.kind is ExchangeKind.BROADCAST:
-                    slots[op.out] = broadcast(
-                        frames,
-                        workers,
-                        stats,
-                        name=op.name,
-                        phase=op.phase,
-                        memory=cluster.memory,
-                    )
-                else:
-                    slots[op.out] = hypercube_shuffle(
-                        frames,
-                        op.atom,
-                        mapping,
-                        workers,
-                        stats,
-                        name=op.name,
-                        phase=op.phase,
-                        memory=cluster.memory,
-                    )
-                record(
-                    OperatorTrace(
-                        round_index, op_index, op,
-                        tuples_in=sum(len(f) for f in frames),
-                        tuples_out=slot_tuples(op.out),
-                        shuffle_index=len(stats.shuffles) - 1,
-                    )
-                )
-            elif isinstance(op, SemiJoinProject):
-                source = slots[op.source]
-                projected: list[Frame] = []
-                for worker, frame in enumerate(source):
-                    stats.charge(worker, len(frame), op.phase)
-                    projected.append(frame.project(op.key, dedup=True))
-                slots[op.out] = projected
-                record(
-                    OperatorTrace(
-                        round_index, op_index, op,
-                        tuples_in=sum(len(f) for f in source),
-                        tuples_out=slot_tuples(op.out),
-                    )
-                )
-            else:  # pragma: no cover - lowering only emits the ops above
-                raise TypeError(f"unknown global operator {op!r}")
-
-        local = round_.local_ops()
-        if not local:
-            continue
-        if round_.local_workers == LOCAL_HC:
-            worker_ids = range(mapping.workers_used)
-        else:
-            worker_ids = range(workers)
-
-        def local_task(worker: int, ledger: WorkerLedger, ops=local):
-            produced: dict[str, SlotValue] = {}
-
-            def read(name: str) -> SlotValue:
-                return produced[name] if name in produced else slots[name][worker]
-
-            def write(name: str, value: SlotValue) -> None:
-                produced[name] = value
-
-            for op in ops:
-                _run_local_op(op, worker, ledger, read, write)
-            return produced
-
-        outcomes = runtime.map_workers(worker_ids, local_task, stats, cluster.memory)
-        local_positions = [
-            i for i, candidate in enumerate(round_.ops) if not candidate.GLOBAL
-        ]
-        for op_offset, op in enumerate(local):
-            inputs = (
-                [op.left, op.right]
-                if isinstance(op, (LocalHashJoin, MergeJoinStep))
-                else [op.target, op.keys]
-                if isinstance(op, SemiJoinFilter)
-                else [slot for _, slot in op.inputs]
+        if faults is not None and faults.needs_recovery(round_index, round_.label):
+            _run_round_recovering(
+                plan, round_, round_index, cluster, stats, runtime,
+                trace, state, faults,
             )
-            tuples_in = sum(slot_tuples(name) for name in inputs if name in slots)
-            slots[op.out] = [produced[op.out] for produced in outcomes]
-            record(
-                OperatorTrace(
-                    round_index,
-                    local_positions[op_offset],
-                    op,
-                    tuples_in=tuples_in
-                    + sum(
-                        len(produced[name])
-                        for produced in outcomes
-                        for name in inputs
-                        if name not in slots
-                    ),
-                    tuples_out=slot_tuples(op.out),
-                )
+        else:
+            _run_round(
+                plan, round_, round_index, cluster, stats, runtime,
+                trace, state, faults,
             )
 
     # finalize: union worker outputs; project and de-duplicate
+    slots = state.slots
     if plan.result_kind == RESULT_ROWS:
         per_worker_rows = slots[plan.result]
     else:
@@ -408,7 +598,9 @@ def run_plan(
     if plan.dedup_full and plan.query.is_full():
         rows = list(dict.fromkeys(rows))
         stats.result_count = len(rows)
-    return ScheduledRun(rows=rows, hc_config=hc_config, anchor=anchor, trace=trace)
+    return ScheduledRun(
+        rows=rows, hc_config=state.hc_config, anchor=state.anchor, trace=trace
+    )
 
 
 # Imported last on purpose: importing the planner package re-enters this

@@ -1,5 +1,8 @@
 """Execution statistics — the metrics every figure and table reports.
 
+Layer: engine / accounting (written by shuffles and local operators, read by
+the experiments harness and EXPLAIN ANALYZE).
+
 The paper measures three things per configuration (Figs. 3/4/6/9/13/14/15/17):
 wall-clock time, total CPU time across workers, and the number of tuples
 shuffled; plus per-shuffle load-balance detail (Tables 2-4): tuples sent and
@@ -33,6 +36,11 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
+
+#: the stats phase that retry-with-recompute charges wasted work and backoff
+#: into (:mod:`~repro.engine.faults`); never owned by a physical operator, so
+#: EXPLAIN ANALYZE reports it separately from the per-operator attribution
+RECOVERY_PHASE = "recovery"
 
 
 def skew_factor(loads: Iterable[float]) -> float:
@@ -69,10 +77,12 @@ class WorkerStats:
             )
 
     def charge(self, worker: int, amount: float, phase: str) -> None:
+        """Charge ``amount`` work units into ``phase`` (worker must match)."""
         self._check_worker(worker)
         self.phase_loads[phase] = self.phase_loads.get(phase, 0.0) + amount
 
     def record_memory(self, worker: int, resident_tuples: int) -> None:
+        """Raise this task's high-water mark to ``resident_tuples`` if higher."""
         self._check_worker(worker)
         if resident_tuples > self.peak_memory:
             self.peak_memory = resident_tuples
@@ -99,6 +109,22 @@ class ShuffleRecord:
         )
 
 
+@dataclass(frozen=True)
+class StatsCheckpoint:
+    """An immutable snapshot of the mutable charge state of one stats object.
+
+    Captured at a Round boundary by the recovery layer
+    (:mod:`~repro.engine.faults`) so a failed Round attempt can be rolled
+    back: ``phase_loads`` deep-copies the phase/worker charges and
+    ``shuffle_count`` remembers how many shuffle records existed.  Peak
+    memory is deliberately *not* part of the snapshot — high-water marks are
+    true observations even when the work that produced them is retried.
+    """
+
+    phase_loads: dict[str, dict[int, float]]
+    shuffle_count: int
+
+
 @dataclass
 class ExecutionStats:
     """All metrics collected while executing one (query, strategy) pair."""
@@ -110,6 +136,13 @@ class ExecutionStats:
     result_count: int = 0
     failed: bool = False
     failure: str = ""
+    #: machine-readable failure class: ``""`` (not failed), ``"oom"`` for a
+    #: genuine memory-budget breach, ``"fault"`` for an injected-fault abort
+    failure_kind: str = ""
+    #: Round attempts re-run by the recovery layer (0 on fault-free runs)
+    retries: int = 0
+    #: injected faults that actually fired during execution
+    faults_injected: int = 0
     elapsed_seconds: float = 0.0
     #: phase name -> worker -> charged work units
     _phase_loads: dict[str, dict[int, float]] = field(default_factory=dict)
@@ -129,6 +162,7 @@ class ExecutionStats:
         sent_per_producer: Iterable[float],
         received_per_consumer: Iterable[float],
     ) -> ShuffleRecord:
+        """Append one shuffle's load-balance summary (a row of Tables 2-4)."""
         sent = list(sent_per_producer)
         received = list(received_per_consumer)
         record = ShuffleRecord(
@@ -141,6 +175,7 @@ class ExecutionStats:
         return record
 
     def record_memory(self, worker: int, resident_tuples: int) -> None:
+        """Raise ``worker``'s high-water mark to ``resident_tuples`` if higher."""
         previous = self.peak_memory.get(worker, 0)
         if resident_tuples > previous:
             self.peak_memory[worker] = resident_tuples
@@ -157,9 +192,45 @@ class ExecutionStats:
         if ledger.peak_memory > self.peak_memory.get(ledger.worker, 0):
             self.peak_memory[ledger.worker] = ledger.peak_memory
 
-    def mark_failed(self, reason: str) -> None:
+    def mark_failed(self, reason: str, kind: str = "") -> None:
+        """Record a failed outcome with a reason and machine-readable kind."""
         self.failed = True
         self.failure = reason
+        self.failure_kind = kind
+
+    # -- Round checkpoint/rollback (the recovery layer's hooks) --------------
+
+    def checkpoint(self) -> StatsCheckpoint:
+        """Snapshot the charge state so a failed Round can be rolled back."""
+        return StatsCheckpoint(
+            phase_loads={
+                phase: dict(loads) for phase, loads in self._phase_loads.items()
+            },
+            shuffle_count=len(self.shuffles),
+        )
+
+    def rollback(self, snapshot: StatsCheckpoint) -> dict[int, float]:
+        """Restore a checkpoint, returning each worker's discarded charge.
+
+        Charges and shuffle records made after the checkpoint are removed;
+        the per-worker difference (the work the failed attempt wasted) is
+        returned so the caller can re-charge it into
+        :data:`RECOVERY_PHASE`.  Peak memory is left untouched — the failed
+        attempt really did hold that many tuples resident.
+        """
+        wasted: dict[int, float] = defaultdict(float)
+        for phase, loads in self._phase_loads.items():
+            base = snapshot.phase_loads.get(phase, {})
+            for worker, amount in loads.items():
+                delta = amount - base.get(worker, 0.0)
+                if delta:
+                    wasted[worker] += delta
+        self._phase_loads = {
+            phase: defaultdict(float, loads)
+            for phase, loads in snapshot.phase_loads.items()
+        }
+        del self.shuffles[snapshot.shuffle_count:]
+        return dict(wasted)
 
     # -- derived metrics ----------------------------------------------------
 
@@ -185,13 +256,16 @@ class ExecutionStats:
         )
 
     def phase_wall(self, phase: str) -> float:
+        """One phase's wall clock: its slowest worker's charge."""
         loads = self._phase_loads.get(phase, {})
         return max(loads.values(), default=0.0)
 
     def phase_cpu(self, phase: str) -> float:
+        """One phase's total CPU: the sum of its per-worker charges."""
         return sum(self._phase_loads.get(phase, {}).values())
 
     def phases(self) -> tuple[str, ...]:
+        """Phase names in first-charge order (the per-phase report order)."""
         return tuple(self._phase_loads)
 
     def worker_loads(self, phase: Optional[str] = None) -> dict[int, float]:
@@ -217,6 +291,7 @@ class ExecutionStats:
         return max((r.consumer_skew for r in self.shuffles), default=1.0)
 
     def summary(self) -> str:
+        """One-line outcome summary (used by benchmark progress output)."""
         status = "FAIL" if self.failed else "ok"
         return (
             f"{self.query}/{self.strategy} [{status}] "

@@ -2,7 +2,9 @@
 
 from .harness import (
     GridResult,
+    fault_sweep,
     figure_rows,
+    format_fault_sweep,
     format_figure,
     format_shuffle_table,
     input_size,
@@ -14,7 +16,9 @@ from .harness import (
 
 __all__ = [
     "GridResult",
+    "fault_sweep",
     "figure_rows",
+    "format_fault_sweep",
     "format_figure",
     "format_shuffle_table",
     "input_size",

@@ -8,6 +8,11 @@ read the collected :class:`~repro.engine.stats.ExecutionStats`.
 Expensive per-query artifacts (the left-deep plan and the Tributary variable
 order) are computed once and shared across the six runs, exactly as a real
 optimizer would.
+
+:func:`fault_sweep` adds the fault-injection dimension: one query executed
+fault-free and then once per fault scenario, emitting recovery-overhead
+rows (retries, recovery CPU, overhead ratio, disposition) for the
+:mod:`~repro.engine.faults` subsystem.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..engine.cluster import Cluster
+from ..engine.faults import FaultsLike, PolicyLike
 from ..engine.memory import MemoryBudget
 from ..engine.runtime import RuntimeLike
 from ..planner.api import QueryLike, _as_query
@@ -203,6 +209,96 @@ def format_shuffle_table(result: ExecutionResult, title: str) -> str:
             f"{row['producer_skew']:>10.2f} {row['consumer_skew']:>10.2f}"
         )
     lines.append(f"{'Total':<48} {total:>12,} {'N.A.':>10} {'N.A.':>10}")
+    return "\n".join(lines)
+
+
+def fault_sweep(
+    query: QueryLike,
+    database: Database,
+    scenarios: dict[str, FaultsLike],
+    strategy: str = "RS_HJ",
+    workers: int = 16,
+    recovery: PolicyLike = None,
+    runtime: RuntimeLike = None,
+    memory_tuples: Optional[int] = None,
+) -> list[dict[str, object]]:
+    """Run one query fault-free, then once per named fault scenario.
+
+    Each scenario is a :class:`~repro.engine.faults.FaultPlan` (or its dict
+    form) executed on a fresh cluster under the given ``recovery`` policy.
+    Returns one row per run — the fault-free baseline first — with the
+    recovery-overhead metrics: retries, injected faults, CPU charged to the
+    ``recovery`` phase, total CPU as a ratio of the baseline, whether the
+    rows matched the baseline exactly, and the failure disposition (empty,
+    ``"aborted"``, or ``"degraded"``).
+    """
+    from ..planner.api import run_query
+
+    query = _as_query(query)
+
+    def run_one(name: str, faults: FaultsLike) -> dict[str, object]:
+        """Execute one sweep entry and project its overhead row."""
+        result = run_query(
+            query,
+            database,
+            strategy=strategy,
+            workers=workers,
+            memory_tuples=memory_tuples,
+            runtime=runtime,
+            faults=faults,
+            recovery=recovery,
+        )
+        report = result.failure_report
+        return {
+            "scenario": name,
+            "failed": result.failed,
+            "disposition": report.disposition if report is not None else "",
+            "retries": result.stats.retries,
+            "faults_injected": result.stats.faults_injected,
+            "recovery_cpu": result.stats.phase_cpu("recovery"),
+            "total_cpu": result.stats.total_cpu,
+            "wall_clock": result.stats.wall_clock,
+            "results": result.stats.result_count,
+            "rows": frozenset(result.rows),
+        }
+
+    rows = [run_one("baseline", None)]
+    baseline = rows[0]
+    for name, faults in scenarios.items():
+        row = run_one(name, faults)
+        row["rows_match"] = (not row["failed"]) and row["rows"] == baseline["rows"]
+        row["cpu_overhead"] = (
+            row["total_cpu"] / baseline["total_cpu"]
+            if baseline["total_cpu"]
+            else float("nan")
+        )
+        rows.append(row)
+    baseline["rows_match"] = True
+    baseline["cpu_overhead"] = 1.0
+    for row in rows:
+        del row["rows"]
+    return rows
+
+
+def format_fault_sweep(rows: list[dict[str, object]], title: str) -> str:
+    """Render :func:`fault_sweep` rows as an aligned recovery-overhead table."""
+    lines = [title, "-" * len(title)]
+    lines.append(
+        f"{'scenario':<24} {'outcome':>10} {'retries':>8} {'recovery cpu':>13} "
+        f"{'cpu overhead':>13} {'rows ok':>8}"
+    )
+    for row in rows:
+        if row["failed"]:
+            outcome = "ABORT"
+        elif row["disposition"] == "degraded":
+            outcome = "degraded"
+        else:
+            outcome = "ok"
+        lines.append(
+            f"{str(row['scenario']):<24} {outcome:>10} {row['retries']:>8} "
+            f"{row['recovery_cpu']:>13,.0f} {row['cpu_overhead']:>13.2f} "
+            f"{str(bool(row['rows_match'])):>8}"
+        )
     return "\n".join(lines)
 
 

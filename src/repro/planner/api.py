@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 from ..engine.cluster import Cluster
+from ..engine.faults import FaultsLike, PolicyLike
 from ..engine.memory import MemoryBudget
 from ..engine.runtime import RuntimeLike
 from ..query.atoms import ConjunctiveQuery, Variable
@@ -52,6 +53,8 @@ def run_query(
     variable_order: Optional[Sequence[Variable]] = None,
     runtime: RuntimeLike = None,
     kernels: Optional[str] = None,
+    faults: FaultsLike = None,
+    recovery: PolicyLike = None,
 ) -> ExecutionResult:
     """Parse (if needed), plan, and execute a query on a fresh cluster.
 
@@ -61,11 +64,16 @@ def run_query(
     :class:`~repro.engine.runtime.WorkerRuntime` instance.  ``kernels``
     pins the kernel backend (``"python"``/``"numpy"``) for this call;
     ``None`` keeps the process default (``REPRO_KERNELS``).
+    ``faults``/``recovery`` enable deterministic fault injection — see
+    :func:`~repro.planner.executor.execute_physical`.
     """
     parsed = _as_query(query)
     cluster = make_cluster(database, workers=workers, memory_tuples=memory_tuples)
     if isinstance(strategy, str) and strategy == "SJ_HJ":
-        return execute_semijoin(parsed, cluster, runtime=runtime, kernels=kernels)
+        return execute_semijoin(
+            parsed, cluster, runtime=runtime, kernels=kernels,
+            faults=faults, recovery=recovery,
+        )
     if isinstance(strategy, str):
         strategy = Strategy.parse(strategy)
     return execute(
@@ -75,6 +83,8 @@ def run_query(
         variable_order=variable_order,
         runtime=runtime,
         kernels=kernels,
+        faults=faults,
+        recovery=recovery,
     )
 
 

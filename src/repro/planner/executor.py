@@ -37,15 +37,24 @@ per-strategy executor.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from ..engine.cluster import Cluster
+from ..engine.faults import (
+    FailureReport,
+    FaultAbort,
+    FaultSession,
+    FaultsLike,
+    PolicyLike,
+    resolve_faults,
+    resolve_policy,
+)
 from ..engine.kernels import use_backend
 from ..engine.memory import OutOfMemoryError
 from ..engine.runtime import RuntimeLike, resolve_runtime
 from ..engine.scheduler import OperatorTrace, run_plan
-from ..engine.stats import ExecutionStats
+from ..engine.stats import RECOVERY_PHASE, ExecutionStats
 from ..hypercube.config import HyperCubeConfig
 from ..query.atoms import ConjunctiveQuery, Variable
 from ..query.catalog import Catalog
@@ -67,10 +76,60 @@ class ExecutionResult:
     physical: Optional[PhysicalPlan] = None
     #: per-operator execution trace (present when tracing was requested)
     trace: Optional[list[OperatorTrace]] = None
+    #: structured report of an injected-fault abort or degrade (None when no
+    #: fault escalated past the scheduler's retry loop)
+    failure_report: Optional[FailureReport] = None
 
     @property
     def failed(self) -> bool:
+        """Whether execution failed (OOM or unrecovered injected fault)."""
         return self.stats.failed
+
+
+#: graceful-degradation fallbacks: broadcast plans re-planned as regular
+#: shuffles when a fault exhausts recovery (the ``degrade`` policy)
+DEGRADE_FALLBACKS = {"BR_HJ": "RS_HJ", "BR_TJ": "RS_TJ"}
+
+
+def _degrade(
+    report: FailureReport,
+    physical: PhysicalPlan,
+    cluster: Cluster,
+    stats: ExecutionStats,
+    runtime: RuntimeLike,
+    kernels: Optional[str],
+    trace: Optional[list[OperatorTrace]],
+) -> Optional[ExecutionResult]:
+    """Re-plan a fault-aborted broadcast strategy as a regular shuffle.
+
+    Returns ``None`` when the strategy has no fallback (the caller then
+    reports the abort).  The aborted attempt's charges are carried into the
+    fallback run's ``recovery`` phase so total CPU still accounts for the
+    wasted work; the fallback itself runs fault-free (the adversity is
+    presumed tied to the broadcast shape, e.g. a worker that cannot hold a
+    replica).  The fallback starts from a fresh memory budget, so peak
+    memory reflects the fallback plan only.
+    """
+    fallback_name = DEGRADE_FALLBACKS.get(physical.strategy)
+    if fallback_name is None:
+        return None
+    wasted = stats.worker_loads()
+    if trace is not None:
+        trace[:] = []
+    catalog = Catalog(cluster.database)
+    fallback_plan = lower(physical.query, fallback_name, catalog)
+    result = execute_physical(
+        fallback_plan, cluster, runtime=runtime, kernels=kernels, trace=trace
+    )
+    for worker in sorted(wasted):
+        if wasted[worker]:
+            result.stats.charge(worker, wasted[worker], RECOVERY_PHASE)
+    result.stats.retries = stats.retries
+    result.stats.faults_injected = stats.faults_injected
+    result.failure_report = replace(
+        report, disposition="degraded", fallback=fallback_name
+    )
+    return result
 
 
 def execute_physical(
@@ -79,6 +138,8 @@ def execute_physical(
     runtime: RuntimeLike = None,
     kernels: Optional[str] = None,
     trace: Optional[list[OperatorTrace]] = None,
+    faults: FaultsLike = None,
+    recovery: PolicyLike = None,
 ) -> ExecutionResult:
     """Run an already-lowered physical plan on a loaded cluster.
 
@@ -88,6 +149,15 @@ def execute_physical(
     into a FAILed result.  Pass a list as ``trace`` to collect the
     per-operator :class:`~repro.engine.scheduler.OperatorTrace` stream
     (partial on failure).
+
+    ``faults`` (a :class:`~repro.engine.faults.FaultPlan` or its dict form)
+    enables deterministic fault injection under the ``recovery`` policy
+    (``"retry"``/``"retry:N"``/``"degrade"``/``"fail"`` or a
+    :class:`~repro.engine.faults.RecoveryPolicy`).  An unrecovered fault
+    yields a FAILed result carrying a structured ``failure_report`` —
+    except under ``degrade``, where broadcast plans are transparently
+    re-planned as regular shuffles (see :data:`DEGRADE_FALLBACKS`) and the
+    result reports success with ``disposition="degraded"``.
     """
     if cluster.database is None:
         raise RuntimeError("cluster has no loaded database; call cluster.load()")
@@ -96,12 +166,21 @@ def execute_physical(
         strategy=physical.strategy,
         workers=cluster.workers,
     )
+    plan_faults = resolve_faults(faults)
+    session = None
+    if plan_faults is not None:
+        session = FaultSession(
+            plan_faults, resolve_policy(recovery), cluster.workers
+        )
     worker_runtime = resolve_runtime(runtime)
     cluster.memory.reset()
     started = time.perf_counter()
     try:
         with use_backend(kernels):
-            run = run_plan(physical, cluster, stats, worker_runtime, trace=trace)
+            run = run_plan(
+                physical, cluster, stats, worker_runtime,
+                trace=trace, faults=session,
+            )
         result = ExecutionResult(
             rows=run.rows,
             stats=stats,
@@ -112,11 +191,25 @@ def execute_physical(
             trace=trace,
         )
     except OutOfMemoryError as oom:
-        stats.mark_failed(str(oom))
+        stats.mark_failed(str(oom), kind="oom")
         result = ExecutionResult(
             rows=[], stats=stats, physical=physical, trace=trace
         )
-    stats.elapsed_seconds = time.perf_counter() - started
+    except FaultAbort as abort:
+        degraded = None
+        if abort.report.policy == "degrade":
+            degraded = _degrade(
+                abort.report, physical, cluster, stats, runtime, kernels, trace
+            )
+        if degraded is not None:
+            result = degraded
+        else:
+            stats.mark_failed(abort.report.describe(), kind="fault")
+            result = ExecutionResult(
+                rows=[], stats=stats, physical=physical, trace=trace,
+                failure_report=abort.report,
+            )
+    result.stats.elapsed_seconds = time.perf_counter() - started
     return result
 
 
@@ -132,6 +225,8 @@ def execute(
     runtime: RuntimeLike = None,
     kernels: Optional[str] = None,
     trace: Optional[list[OperatorTrace]] = None,
+    faults: FaultsLike = None,
+    recovery: PolicyLike = None,
 ) -> ExecutionResult:
     """Run ``query`` on ``cluster`` with the given strategy.
 
@@ -144,6 +239,8 @@ def execute(
     ``None`` keeps the process-wide default (``REPRO_KERNELS``).  Result
     rows and counted metrics are identical across runtimes and kernel
     backends; only the real ``elapsed_seconds`` depends on them.
+    ``faults``/``recovery`` enable deterministic fault injection — see
+    :func:`execute_physical`.
     """
     if cluster.database is None:
         raise RuntimeError("cluster has no loaded database; call cluster.load()")
@@ -158,5 +255,6 @@ def execute(
         hc_seed=hc_seed,
     )
     return execute_physical(
-        physical, cluster, runtime=runtime, kernels=kernels, trace=trace
+        physical, cluster, runtime=runtime, kernels=kernels, trace=trace,
+        faults=faults, recovery=recovery,
     )

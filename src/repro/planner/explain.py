@@ -25,9 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from ..engine.faults import FaultsLike, PolicyLike
 from ..engine.runtime import RuntimeLike
 from ..engine.scheduler import OperatorTrace
-from ..engine.stats import ExecutionStats, ShuffleRecord
+from ..engine.stats import RECOVERY_PHASE, ExecutionStats, ShuffleRecord
 from ..hypercube.config import HyperCubeConfig, config_workload, optimize_config
 from ..hypercube.shares import (
     FractionalShares,
@@ -76,6 +77,7 @@ class Explanation:
     physical: Optional[PhysicalPlan] = None
 
     def render(self) -> str:
+        """The multi-line EXPLAIN report (optimizer artifacts + plan)."""
         lines = [f"query: {self.query}"]
         lines.append(
             f"structure: {'cyclic' if self.cyclic else 'acyclic'}, "
@@ -184,8 +186,18 @@ class AnalyzedPlan:
         return self.result.stats
 
     def operator_charges(self) -> list[float]:
-        """Per-operator CPU attribution; sums exactly to ``total_cpu``."""
+        """Per-operator CPU attribution.
+
+        Sums exactly to ``total_cpu`` minus :attr:`recovery_cpu` — the
+        ``recovery`` phase is charged by the retry machinery, never by a
+        physical operator, so it is reported separately.
+        """
         return [annotation.cpu for annotation in self.annotations]
+
+    @property
+    def recovery_cpu(self) -> float:
+        """CPU charged to the ``recovery`` phase (wasted attempts + backoff)."""
+        return self.stats.phase_cpu(RECOVERY_PHASE)
 
     def render(self) -> str:
         """The annotated plan: one indented metric line per operator."""
@@ -220,6 +232,15 @@ class AnalyzedPlan:
             f"totals: cpu={stats.total_cpu:,.2f} wall={stats.wall_clock:,.2f} "
             f"shuffled={stats.tuples_shuffled:,} results={stats.result_count:,}"
         )
+        if stats.retries or stats.faults_injected:
+            lines.append(
+                f"recovery: cpu={self.recovery_cpu:,.2f} "
+                f"(wall {stats.phase_wall(RECOVERY_PHASE):,.2f})  "
+                f"retries={stats.retries} faults_injected={stats.faults_injected}"
+            )
+        report = self.result.failure_report
+        if report is not None and not stats.failed:
+            lines.append(f"degraded: {report.describe()}")
         peak = max(stats.peak_memory.values(), default=0)
         lines.append(
             f"peak memory: {peak:,} tuples on the fullest worker "
@@ -275,13 +296,19 @@ def explain_analyze(
     memory_tuples: Optional[int] = None,
     runtime: RuntimeLike = None,
     kernels: Optional[str] = None,
+    faults: FaultsLike = None,
+    recovery: PolicyLike = None,
 ) -> AnalyzedPlan:
     """Lower, execute with tracing, and annotate the plan with its metrics.
 
     ``strategy`` is one of the six grid names or ``"SJ_HJ"``.  The returned
     :class:`AnalyzedPlan` carries the full :class:`ExecutionResult`; on a
     simulated out-of-memory failure the annotations cover the operators
-    that completed before the failure.
+    that completed before the failure.  ``faults``/``recovery`` enable
+    deterministic fault injection (retry overhead shows up as a
+    ``recovery`` line in the rendered report); when the ``degrade`` policy
+    re-plans a broadcast strategy, the annotations describe the fallback
+    plan that actually ran.
     """
     from ..engine.cluster import Cluster
     from ..engine.memory import MemoryBudget
@@ -293,6 +320,8 @@ def explain_analyze(
     physical = lower(parsed, strategy, catalog)
     trace: list[OperatorTrace] = []
     result = execute_physical(
-        physical, cluster, runtime=runtime, kernels=kernels, trace=trace
+        physical, cluster, runtime=runtime, kernels=kernels, trace=trace,
+        faults=faults, recovery=recovery,
     )
-    return annotate_plan(physical, result, trace)
+    executed = result.physical if result.physical is not None else physical
+    return annotate_plan(executed, result, trace)

@@ -87,6 +87,20 @@ class PhysicalOp:
         """Stat phases this operator charges work units into."""
         return ()
 
+    def input_slots(self) -> tuple[str, ...]:
+        """Slot names this operator reads, in dependency order.
+
+        This is the plan's lineage metadata: together with
+        :meth:`output_slots` it lets the scheduler compute per-operator
+        tuple flow for traces and lets the recovery layer report which
+        surviving inputs a failed Round would recompute from.
+        """
+        return ()
+
+    def output_slots(self) -> tuple[str, ...]:
+        """Slot names this operator binds."""
+        return ()
+
     def describe(self) -> str:
         """One-line rendering for EXPLAIN output."""
         raise NotImplementedError
@@ -110,7 +124,12 @@ class Scan(PhysicalOp):
     out: str
     filters: tuple[Comparison, ...] = ()
 
+    def output_slots(self) -> tuple[str, ...]:
+        """The scanned fragment slot (scans read durable relations)."""
+        return (self.out,)
+
     def describe(self) -> str:
+        """One-line rendering for EXPLAIN output."""
         pushed = f" [+{len(self.filters)} pushed filter(s)]" if self.filters else ""
         return f"scan {self.atom.relation} as {self.atom.alias}{pushed} -> {self.out}"
 
@@ -128,6 +147,7 @@ class ChooseAnchor(PhysicalOp):
     aliases: tuple[str, ...]
 
     def describe(self) -> str:
+        """One-line rendering for EXPLAIN output."""
         return f"choose-anchor largest of ({', '.join(self.aliases)}) stays in place"
 
 
@@ -146,6 +166,7 @@ class ConfigureHyperCube(PhysicalOp):
     seed: int = 0
 
     def describe(self) -> str:
+        """One-line rendering for EXPLAIN output."""
         how = repr(self.config) if self.config is not None else "Algorithm 1"
         return (
             f"configure-hypercube over ({', '.join(self.aliases)}) "
@@ -180,7 +201,16 @@ class Exchange(PhysicalOp):
         """The (possibly shared) shuffle phase this exchange charges."""
         return (self.phase,)
 
+    def input_slots(self) -> tuple[str, ...]:
+        """The partitioning being moved."""
+        return (self.input,)
+
+    def output_slots(self) -> tuple[str, ...]:
+        """The received partitioning."""
+        return (self.out,)
+
     def describe(self) -> str:
+        """One-line rendering for EXPLAIN output."""
         if self.kind is ExchangeKind.REGULAR:
             detail = f" on h({_names(self.key)})"
         elif self.kind is ExchangeKind.HYPERCUBE:
@@ -217,7 +247,16 @@ class LocalHashJoin(PhysicalOp):
         """Join and filter phases, unique to this step."""
         return (f"step{self.step}:join", f"step{self.step}:filter")
 
+    def input_slots(self) -> tuple[str, ...]:
+        """Build and probe sides, left first."""
+        return (self.left, self.right)
+
+    def output_slots(self) -> tuple[str, ...]:
+        """The joined (and filtered) intermediate."""
+        return (self.out,)
+
     def describe(self) -> str:
+        """One-line rendering for EXPLAIN output."""
         on = f"({_names(self.join_vars)})" if self.join_vars else "(cartesian)"
         note = f", filter {len(self.pending)} pending" if self.pending else ""
         return (
@@ -256,7 +295,16 @@ class MergeJoinStep(PhysicalOp):
             f"step{self.step}:filter",
         )
 
+    def input_slots(self) -> tuple[str, ...]:
+        """The two sorted-and-merged sides, left first."""
+        return (self.left, self.right)
+
+    def output_slots(self) -> tuple[str, ...]:
+        """The joined (and filtered) intermediate."""
+        return (self.out,)
+
     def describe(self) -> str:
+        """One-line rendering for EXPLAIN output."""
         on = f"({_names(self.join_vars)})" if self.join_vars else "(cartesian)"
         note = f", filter {len(self.pending)} pending" if self.pending else ""
         return (
@@ -287,7 +335,16 @@ class LocalTributaryJoin(PhysicalOp):
         """The sort and join phases of the local multiway join."""
         return ("sort", "tributary join")
 
+    def input_slots(self) -> tuple[str, ...]:
+        """Every atom's local fragment slot, in atom order."""
+        return tuple(slot for _, slot in self.inputs)
+
+    def output_slots(self) -> tuple[str, ...]:
+        """The per-worker head-row lists."""
+        return (self.out,)
+
     def describe(self) -> str:
+        """One-line rendering for EXPLAIN output."""
         slots = ", ".join(slot for _, slot in self.inputs)
         order = " < ".join(v.name for v in self.order)
         return f"tributary-join ({slots}) order {order} -> {self.out}"
@@ -312,7 +369,16 @@ class SemiJoinProject(PhysicalOp):
         """The projection phase of this semijoin round."""
         return (self.phase,)
 
+    def input_slots(self) -> tuple[str, ...]:
+        """The source relation whose keys are projected."""
+        return (self.source,)
+
+    def output_slots(self) -> tuple[str, ...]:
+        """The deduplicated key frames."""
+        return (self.out,)
+
     def describe(self) -> str:
+        """One-line rendering for EXPLAIN output."""
         return f"semijoin-project {self.source} on ({_names(self.key)}) -> {self.out}"
 
 
@@ -337,7 +403,16 @@ class SemiJoinFilter(PhysicalOp):
         """The semijoin filter phase of this round."""
         return (self.phase,)
 
+    def input_slots(self) -> tuple[str, ...]:
+        """The target partitioning, then the probe-key partitioning."""
+        return (self.target, self.keys)
+
+    def output_slots(self) -> tuple[str, ...]:
+        """The reduced target."""
+        return (self.out,)
+
     def describe(self) -> str:
+        """One-line rendering for EXPLAIN output."""
         return (
             f"semijoin-filter {self.target} |>< {self.keys} "
             f"on ({_names(self.key)}) -> {self.out}"
@@ -372,6 +447,32 @@ class Round:
     def local_ops(self) -> tuple[PhysicalOp, ...]:
         """The per-worker operators of this round, in execution order."""
         return tuple(op for op in self.ops if not op.GLOBAL)
+
+    def consumed_slots(self) -> tuple[str, ...]:
+        """Slots this round reads from *earlier* rounds, in first-use order.
+
+        This is the round's recompute lineage: the surviving state a retry
+        re-runs from.  Slots both produced and read within the round are
+        internal and excluded; scan rounds consume nothing (they re-read
+        the cluster's durable fragments).
+        """
+        produced: set[str] = set()
+        consumed: list[str] = []
+        for op in self.ops:
+            for name in op.input_slots():
+                if name not in produced and name not in consumed:
+                    consumed.append(name)
+            produced.update(op.output_slots())
+        return tuple(consumed)
+
+    def produced_slots(self) -> tuple[str, ...]:
+        """Slots this round binds, in first-bind order."""
+        produced: list[str] = []
+        for op in self.ops:
+            for name in op.output_slots():
+                if name not in produced:
+                    produced.append(name)
+        return tuple(produced)
 
 
 #: how the final slot is interpreted: per-worker frames or bare row lists
@@ -850,6 +951,7 @@ def lower_semijoin(
     slot_of = {atom.alias: atom.alias for atom in query.atoms}
 
     def shared_of(a: str, b: str) -> tuple[Variable, ...]:
+        """Variables atom ``a`` shares with atom ``b``, in ``a``'s order."""
         return tuple(
             v for v in atoms[a].variables() if v in set(atoms[b].variables())
         )
@@ -858,6 +960,7 @@ def lower_semijoin(
         target: str, source: str, label: str, phase: str,
         shared: tuple[Variable, ...],
     ) -> Round:
+        """One distributed semijoin: project keys, co-partition, filter."""
         key = canonical_key(shared)
         keys_slot = f"keys@{phase}"
         keys_part = f"{keys_slot}.part"

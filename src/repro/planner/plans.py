@@ -38,6 +38,7 @@ class Strategy:
 
     @property
     def name(self) -> str:
+        """The paper's strategy label, e.g. ``"HC_TJ"``."""
         return f"{self.shuffle.value}_{self.join.value}"
 
     def __repr__(self) -> str:
@@ -45,6 +46,7 @@ class Strategy:
 
     @classmethod
     def parse(cls, name: str) -> "Strategy":
+        """Parse a strategy label like ``"RS_HJ"`` (ValueError if unknown)."""
         try:
             shuffle_name, join_name = name.split("_")
             shuffle = next(s for s in ShuffleKind if s.value == shuffle_name)

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..engine.cluster import Cluster
+from ..engine.faults import FaultsLike, PolicyLike
 from ..engine.runtime import RuntimeLike
 from ..query.atoms import ConjunctiveQuery
 from ..query.catalog import Catalog
@@ -40,14 +41,20 @@ def execute_semijoin(
     catalog: Optional[Catalog] = None,
     runtime: RuntimeLike = None,
     kernels: Optional[str] = None,
+    faults: FaultsLike = None,
+    recovery: PolicyLike = None,
 ) -> ExecutionResult:
     """Full semijoin plan: reduce all relations, then a regular RS_HJ join.
 
     Raises ``ValueError`` for cyclic queries — "only acyclic queries admit
-    full semijoin reductions".
+    full semijoin reductions".  ``faults``/``recovery`` enable deterministic
+    fault injection, as in :func:`~repro.planner.executor.execute_physical`.
     """
     if cluster.database is None:
         raise RuntimeError("cluster has no loaded database; call cluster.load()")
     catalog = catalog or Catalog(cluster.database)
     physical = lower_semijoin(query, catalog)
-    return execute_physical(physical, cluster, runtime=runtime, kernels=kernels)
+    return execute_physical(
+        physical, cluster, runtime=runtime, kernels=kernels,
+        faults=faults, recovery=recovery,
+    )

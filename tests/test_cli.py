@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.__main__ import build_parser, main
+from repro.__main__ import (
+    EXIT_FAULT,
+    EXIT_OK,
+    EXIT_OOM,
+    EXIT_USAGE,
+    build_parser,
+    main,
+)
 
 TRIANGLE = "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)."
 
@@ -98,6 +105,72 @@ class TestCommands:
         parser = build_parser()
         with pytest.raises(SystemExit):
             args = parser.parse_args(["run", TRIANGLE, "--dataset", "nope"])
+
+
+class TestExitCodes:
+    """Each documented failure class maps to its own exit code."""
+
+    def test_unknown_strategy_is_usage_error(self, capsys):
+        code = main(["run", TRIANGLE, "--workers", "4",
+                     "--strategy", "WAT_HJ"])
+        assert code == EXIT_USAGE
+        assert "WAT_HJ" in capsys.readouterr().err
+
+    def test_oom_abort(self, capsys):
+        code = main(["run", TRIANGLE, "--workers", "4",
+                     "--strategy", "RS_HJ", "--memory-tuples", "10"])
+        captured = capsys.readouterr().out
+        assert code == EXIT_OOM
+        assert "FAILED" in captured
+
+    def test_fault_abort(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"faults": [{"kind": "crash", "round": "step 1",'
+            ' "worker": 1}]}'
+        )
+        code = main(["run", TRIANGLE, "--workers", "4",
+                     "--strategy", "RS_HJ",
+                     "--faults", str(plan), "--recovery", "fail"])
+        captured = capsys.readouterr().out
+        assert code == EXIT_FAULT
+        assert "injected crash" in captured
+
+    def test_fault_recovered_is_success(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"faults": [{"kind": "crash", "round": "step 1",'
+            ' "worker": 1}]}'
+        )
+        code = main(["run", TRIANGLE, "--workers", "4",
+                     "--strategy", "RS_HJ",
+                     "--faults", str(plan), "--recovery", "retry"])
+        captured = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "recovery:" in captured
+        assert "1 fault(s) injected" in captured
+
+    def test_unreadable_fault_plan_is_usage_error(self, capsys):
+        code = main(["run", TRIANGLE, "--workers", "4",
+                     "--faults", "/no/such/plan.json"])
+        assert code == EXIT_USAGE
+        assert "plan.json" in capsys.readouterr().err
+
+    def test_bad_recovery_spec_is_usage_error(self, capsys):
+        code = main(["run", TRIANGLE, "--workers", "4",
+                     "--recovery", "retry:lots"])
+        assert code == EXIT_USAGE
+
+    def test_explain_analyze_fault_abort(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"faults": [{"kind": "crash", "round": "step 1",'
+            ' "worker": 0, "attempts": [0, 1, 2]}]}'
+        )
+        code = main(["explain", TRIANGLE, "--workers", "4",
+                     "--strategy", "RS_HJ", "--analyze",
+                     "--faults", str(plan), "--recovery", "retry:2"])
+        assert code == EXIT_FAULT
 
 
 def test_fractional_edge_packing_triangle():

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's Markdown files resolve.
+
+Stdlib-only so it runs anywhere (CI docs job, pre-commit, bare checkout):
+
+    python tools/check_md_links.py [FILE.md ...]
+
+With no arguments it scans every ``*.md`` file in the repository root and
+``docs/`` (if present).  For each ``[text](target)`` link it verifies:
+
+- relative file targets exist (anchors after ``#`` are checked against the
+  target file's GitHub-style heading slugs);
+- bare ``#anchor`` targets match a heading in the same file.
+
+External links (``http(s)://``, ``mailto:``) are *not* fetched — CI must
+stay deterministic and offline.  Exit status: 0 when every link resolves,
+1 otherwise (one diagnostic line per broken link).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — ignores images' leading "!" since the target rules match
+LINK = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dashes for spaces."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All anchor slugs defined by a Markdown file's headings."""
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match:
+            slugs.add(slugify(match.group(1)))
+    return slugs
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for each link outside code fences."""
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK.finditer(line):
+            yield number, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return a diagnostic line for every broken link in ``path``."""
+    problems = []
+    for number, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        resolved = (path.parent / base).resolve() if base else path
+        if not resolved.exists():
+            problems.append(f"{path}:{number}: broken link -> {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if slugify(anchor) not in heading_slugs(resolved):
+                problems.append(
+                    f"{path}:{number}: missing anchor -> {target}"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Entry point; returns the process exit status."""
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = sorted(REPO_ROOT.glob("*.md"))
+        docs = REPO_ROOT / "docs"
+        if docs.is_dir():
+            files.extend(sorted(docs.rglob("*.md")))
+    problems = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: no such file")
+            continue
+        problems.extend(check_file(path))
+    for line in problems:
+        print(line, file=sys.stderr)
+    checked = len(files)
+    print(f"checked {checked} file(s): {len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
