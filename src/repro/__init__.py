@@ -48,6 +48,7 @@ from .hypercube import (
 from .leapfrog import TributaryJoin, best_join_order, estimate_order_cost
 from .planner import (
     ALL_STRATEGIES,
+    CostReport,
     ExecutionResult,
     PhysicalPlan,
     Strategy,
@@ -58,6 +59,7 @@ from .planner import (
     explain_analyze,
     lower,
     make_cluster,
+    optimize,
     run_all_strategies,
     run_query,
 )
@@ -78,6 +80,7 @@ __all__ = [
     "Atom",
     "Cluster",
     "ConjunctiveQuery",
+    "CostReport",
     "Database",
     "ExecutionResult",
     "ExecutionStats",
@@ -108,6 +111,7 @@ __all__ = [
     "freebase_database",
     "lower",
     "make_cluster",
+    "optimize",
     "optimize_config",
     "parse_query",
     "resolve_runtime",

@@ -113,9 +113,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         recovery=_recovery(args),
     )
     stats = result.stats
+    if result.cost_report is not None:
+        print(result.cost_report.render())
+        print()
     if result.failed:
         print(f"FAILED: {stats.failure}")
         return _failure_code(result)
+    if result.cost_report is not None:
+        print(f"strategy:        {stats.strategy} (chosen by the optimizer)")
     print(f"results:         {len(result.rows):,}")
     print(f"tuples shuffled: {stats.tuples_shuffled:,}")
     print(f"wall clock:      {stats.wall_clock:,.0f} work units")
@@ -153,17 +158,25 @@ def _cmd_explain(args: argparse.Namespace) -> int:
             database,
             strategy=args.strategy,
             workers=args.workers,
+            memory_tuples=args.memory_tuples,
             runtime=args.runtime,
             kernels=args.kernels,
             faults=_load_faults(args),
             recovery=_recovery(args),
         )
+        if analyzed.result.cost_report is not None:
+            print(analyzed.result.cost_report.render())
+            print()
         print(analyzed.render())
         if analyzed.result.failed:
             return _failure_code(analyzed.result)
         return EXIT_OK
     explanation = explain(
-        args.query, database, workers=args.workers, strategy=args.strategy
+        args.query,
+        database,
+        workers=args.workers,
+        strategy=args.strategy,
+        memory_tuples=args.memory_tuples,
     )
     print(explanation.render())
     return EXIT_OK
@@ -227,7 +240,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("query", help="Datalog rule text")
     run_cmd.add_argument("--dataset", default="twitter",
                          choices=("twitter", "freebase"))
-    run_cmd.add_argument("--strategy", default="HC_TJ")
+    run_cmd.add_argument("--strategy", default="HC_TJ",
+                         help="RS/BR/HC x HJ/TJ grid name, SJ_HJ, or "
+                              "'auto' for the cost-based optimizer")
     run_cmd.add_argument("--workers", type=int, default=16)
     run_cmd.add_argument("--runtime", default="serial",
                          help="worker runtime: 'serial' or 'parallel[:N]'")
@@ -252,7 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
                              choices=("twitter", "freebase"))
     explain_cmd.add_argument("--workers", type=int, default=16)
     explain_cmd.add_argument("--strategy", default="HC_TJ",
-                             help="RS/BR/HC x HJ/TJ grid name or SJ_HJ")
+                             help="RS/BR/HC x HJ/TJ grid name, SJ_HJ, or "
+                                  "'auto' to print the per-strategy cost "
+                                  "table and the optimizer's pick")
+    explain_cmd.add_argument("--memory-tuples", type=int, default=None,
+                             help="per-worker tuple budget the optimizer "
+                                  "costs against (default: unlimited)")
     explain_cmd.add_argument("--analyze", action="store_true",
                              help="execute the plan and annotate each "
                                   "operator with its counted metrics")

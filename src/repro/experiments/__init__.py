@@ -4,10 +4,13 @@ from .harness import (
     GridResult,
     fault_sweep,
     figure_rows,
+    format_accuracy,
     format_fault_sweep,
     format_figure,
     format_shuffle_table,
     input_size,
+    optimizer_accuracy,
+    predict_workload,
     run_grid,
     run_workload,
     shuffle_rows,
@@ -18,10 +21,13 @@ __all__ = [
     "GridResult",
     "fault_sweep",
     "figure_rows",
+    "format_accuracy",
     "format_fault_sweep",
     "format_figure",
     "format_shuffle_table",
     "input_size",
+    "optimizer_accuracy",
+    "predict_workload",
     "run_grid",
     "run_workload",
     "shuffle_rows",

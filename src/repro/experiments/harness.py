@@ -338,3 +338,127 @@ def table6_row(
         "rs_over_hc_time": ratio,
         "best": grid.best_strategy(),
     }
+
+
+def predict_workload(
+    name: str,
+    scale: str = "bench",
+    workers: int = 64,
+    enforce_memory: bool = True,
+    database: Optional[Database] = None,
+):
+    """The cost-based optimizer's prediction for one registered workload.
+
+    Mirrors :func:`run_workload` exactly — same dataset, memory budget,
+    pinned plan order, and Tributary variable order — so the returned
+    :class:`~repro.planner.optimizer.CostReport` prices the very plans the
+    measured grid executes.
+    """
+    from ..planner.optimizer import estimate_costs
+
+    workload = get_workload(name)
+    if database is None:
+        database = workload.dataset(scale)
+    memory = workload.memory_tuples if (enforce_memory and scale == "bench") else None
+    catalog = Catalog(database)
+    if workload.rs_plan_order is not None:
+        plan = plan_from_order(workload.query, catalog, workload.rs_plan_order)
+    else:
+        plan = left_deep_plan(workload.query, catalog)
+    order = full_variable_order(
+        workload.query, best_join_order(workload.query, catalog).order
+    )
+    return estimate_costs(
+        workload.query,
+        catalog,
+        workers=workers,
+        memory_tuples=memory,
+        plan=plan,
+        variable_order=order,
+    )
+
+
+def optimizer_accuracy(
+    names: Sequence[str] = (),
+    scale: str = "bench",
+    workers: int = 64,
+    enforce_memory: bool = True,
+    runtime: RuntimeLike = None,
+    grids: Optional[dict[str, GridResult]] = None,
+) -> dict[str, object]:
+    """Predicted-vs-measured winner matrix over the paper's query set.
+
+    For every query, runs the cost-based optimizer's prediction
+    (:func:`predict_workload`) next to the measured six-strategy grid
+    (:func:`run_workload`, reused from ``grids`` when supplied) and records
+    whether the predicted winner equals the measured one.  The returned
+    report is JSON-serializable — the benchmark suite writes it out as
+    ``BENCH_optimizer.json``.
+    """
+    from ..workloads.registry import PAPER_ORDER
+
+    names = tuple(names) or PAPER_ORDER
+    rows: list[dict[str, object]] = []
+    for name in names:
+        report = predict_workload(
+            name, scale=scale, workers=workers, enforce_memory=enforce_memory
+        )
+        if grids is not None and name in grids:
+            grid = grids[name]
+        else:
+            grid = run_workload(
+                name,
+                scale=scale,
+                workers=workers,
+                enforce_memory=enforce_memory,
+                runtime=runtime,
+            )
+        measured = grid.best_strategy()
+        rows.append(
+            {
+                "query": name,
+                "predicted": report.choice,
+                "measured": measured,
+                "hit": report.choice == measured,
+                "predicted_wall": {
+                    cost.strategy: None if cost.predicted_oom else cost.wall_clock
+                    for cost in report.costs
+                },
+                "predicted_fail": [
+                    cost.strategy for cost in report.costs if cost.predicted_oom
+                ],
+                "measured_wall": {
+                    strategy: None if result.failed else result.stats.wall_clock
+                    for strategy, result in grid.results.items()
+                },
+                "measured_fail": [
+                    strategy
+                    for strategy, result in grid.results.items()
+                    if result.failed
+                ],
+            }
+        )
+    hits = sum(1 for row in rows if row["hit"])
+    return {
+        "scale": scale,
+        "workers": workers,
+        "queries": rows,
+        "hits": hits,
+        "total": len(rows),
+        "accuracy": hits / len(rows) if rows else 0.0,
+    }
+
+
+def format_accuracy(report: dict[str, object]) -> str:
+    """Render an :func:`optimizer_accuracy` report as a readable matrix."""
+    lines = [
+        f"optimizer accuracy ({report['scale']}, p={report['workers']}): "
+        f"{report['hits']}/{report['total']}"
+    ]
+    lines.append(f"{'query':>6} {'predicted':>10} {'measured':>10}  hit")
+    for row in report["queries"]:
+        mark = "yes" if row["hit"] else "NO"
+        lines.append(
+            f"{row['query']:>6} {row['predicted']:>10} {row['measured']:>10}  {mark}"
+        )
+    return "\n".join(lines)

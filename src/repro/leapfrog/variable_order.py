@@ -54,6 +54,13 @@ def estimate_order_cost(
 ) -> OrderCost:
     """Estimated number of binary searches for a join-variable order."""
     join_order = tuple(join_order)
+    if catalog.empty_atoms(query):
+        # an empty post-selection atom makes the whole result empty: every
+        # order is trivially optimal, and the V(p_i)/V(p_{i-1}) ratios below
+        # would be 0/0 noise — report zero cost without forming them
+        return OrderCost(
+            order=join_order, cost=0.0, step_sizes=(0.0,) * len(join_order)
+        )
     step_sizes: list[float] = []
     for i, variable in enumerate(join_order, start=1):
         candidates: list[float] = []
@@ -125,6 +132,9 @@ def best_join_order(
     runtimes by orders of magnitude per Table 7 while staying fast.
     """
     join_vars = list(query.join_variables())
+    if catalog.empty_atoms(query):
+        # empty result: skip the enumeration entirely (trivial plan)
+        return estimate_order_cost(query, catalog, tuple(join_vars))
     factorial = math.factorial(len(join_vars))
     if factorial <= limit:
         orders = enumerate_join_orders(query)

@@ -4,6 +4,15 @@ from .api import make_cluster, run_all_strategies, run_query
 from .binary import LeftDeepPlan, left_deep_plan, shared_variables
 from .explain import AnalyzedPlan, Explanation, explain, explain_analyze
 from .executor import ExecutionResult, execute, execute_physical
+from .optimizer import (
+    AUTO_STRATEGY,
+    CostReport,
+    OptimizedPlan,
+    PlanCache,
+    StrategyCost,
+    estimate_costs,
+    optimize,
+)
 from .physical import (
     PhysicalPlan,
     Round,
@@ -29,11 +38,16 @@ from .semijoin import execute_semijoin
 
 __all__ = [
     "ALL_STRATEGIES",
+    "AUTO_STRATEGY",
     "AnalyzedPlan",
     "BR_HJ",
     "BR_TJ",
+    "CostReport",
     "ExecutionResult",
     "Explanation",
+    "OptimizedPlan",
+    "PlanCache",
+    "StrategyCost",
     "HC_HJ",
     "HC_TJ",
     "JoinKind",
@@ -44,6 +58,7 @@ __all__ = [
     "Round",
     "ShuffleKind",
     "Strategy",
+    "estimate_costs",
     "execute",
     "execute_physical",
     "execute_semijoin",
@@ -56,6 +71,7 @@ __all__ = [
     "lower_regular",
     "lower_semijoin",
     "make_cluster",
+    "optimize",
     "run_all_strategies",
     "run_query",
     "shared_variables",

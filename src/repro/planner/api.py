@@ -18,9 +18,11 @@ from ..engine.faults import FaultsLike, PolicyLike
 from ..engine.memory import MemoryBudget
 from ..engine.runtime import RuntimeLike
 from ..query.atoms import ConjunctiveQuery, Variable
+from ..query.catalog import Catalog
 from ..query.parser import parse_query
 from ..storage.relation import Database
-from .executor import ExecutionResult, execute
+from .executor import ExecutionResult, execute, execute_physical
+from .optimizer import AUTO_STRATEGY, optimize
 from .plans import ALL_STRATEGIES, Strategy
 from .semijoin import execute_semijoin
 
@@ -58,8 +60,12 @@ def run_query(
 ) -> ExecutionResult:
     """Parse (if needed), plan, and execute a query on a fresh cluster.
 
-    ``strategy`` is one of RS_HJ, RS_TJ, BR_HJ, BR_TJ, HC_HJ, HC_TJ, or
-    ``"SJ_HJ"`` for the semijoin-reduction plan on acyclic queries.
+    ``strategy`` is one of RS_HJ, RS_TJ, BR_HJ, BR_TJ, HC_HJ, HC_TJ,
+    ``"SJ_HJ"`` for the semijoin-reduction plan on acyclic queries, or
+    ``"auto"`` to let the cost-based optimizer
+    (:mod:`~repro.planner.optimizer`) pick the cheapest of the six grid
+    strategies from catalog statistics; the result then carries the
+    per-strategy cost table as ``result.cost_report``.
     ``runtime`` is ``"serial"`` (default), ``"parallel[:N]"``, or a
     :class:`~repro.engine.runtime.WorkerRuntime` instance.  ``kernels``
     pins the kernel backend (``"python"``/``"numpy"``) for this call;
@@ -69,6 +75,24 @@ def run_query(
     """
     parsed = _as_query(query)
     cluster = make_cluster(database, workers=workers, memory_tuples=memory_tuples)
+    if isinstance(strategy, str) and strategy == AUTO_STRATEGY:
+        optimized = optimize(
+            parsed,
+            Catalog(database),
+            workers=workers,
+            memory_tuples=memory_tuples,
+            variable_order=variable_order,
+        )
+        result = execute_physical(
+            optimized.physical,
+            cluster,
+            runtime=runtime,
+            kernels=kernels,
+            faults=faults,
+            recovery=recovery,
+        )
+        result.cost_report = optimized.report
+        return result
     if isinstance(strategy, str) and strategy == "SJ_HJ":
         return execute_semijoin(
             parsed, cluster, runtime=runtime, kernels=kernels,

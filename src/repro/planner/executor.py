@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..engine.cluster import Cluster
 from ..engine.faults import (
@@ -62,6 +62,9 @@ from .binary import LeftDeepPlan
 from .physical import PhysicalPlan, lower
 from .plans import Strategy
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .optimizer import CostReport
+
 
 @dataclass
 class ExecutionResult:
@@ -79,6 +82,9 @@ class ExecutionResult:
     #: structured report of an injected-fault abort or degrade (None when no
     #: fault escalated past the scheduler's retry loop)
     failure_report: Optional[FailureReport] = None
+    #: the optimizer's per-strategy cost table (``strategy="auto"`` runs
+    #: only; see :mod:`~repro.planner.optimizer`)
+    cost_report: Optional["CostReport"] = None
 
     @property
     def failed(self) -> bool:

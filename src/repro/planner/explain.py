@@ -44,6 +44,7 @@ from ..query.parser import parse_query
 from ..storage.relation import Database
 from .binary import LeftDeepPlan, left_deep_plan
 from .executor import ExecutionResult, execute_physical
+from .optimizer import AUTO_STRATEGY, CostReport, optimize
 from .physical import Exchange, PhysicalPlan, lower
 
 QueryLike = Union[str, ConjunctiveQuery]
@@ -71,10 +72,14 @@ class Explanation:
     hc_replication: float
     variable_order: tuple[Variable, ...]
     order_cost: OrderCost
-    #: strategy the physical plan below was lowered for (None = not lowered)
+    #: strategy the physical plan below was lowered for (None = not lowered;
+    #: for ``"auto"`` this is the optimizer's chosen strategy)
     strategy: Optional[str] = None
     #: the lowered physical plan when a strategy was requested
     physical: Optional[PhysicalPlan] = None
+    #: the cost-based optimizer's per-strategy table (``"auto"`` only):
+    #: predicted cost of every strategy plus the pick
+    cost_report: Optional[CostReport] = None
 
     def render(self) -> str:
         """The multi-line EXPLAIN report (optimizer artifacts + plan)."""
@@ -104,6 +109,9 @@ class Explanation:
             f"tributary variable order: {order} "
             f"(estimated cost {self.order_cost.cost:,.0f})"
         )
+        if self.cost_report is not None:
+            lines.append("")
+            lines.append(self.cost_report.render())
         if self.physical is not None:
             lines.append("")
             lines.append(self.physical.render())
@@ -115,13 +123,18 @@ def explain(
     database: Database,
     workers: int = 64,
     strategy: Optional[str] = None,
+    memory_tuples: Optional[int] = None,
 ) -> Explanation:
     """Build the full optimizer explanation for a query (no execution).
 
     ``query`` may be Datalog rule text or an already-parsed
     :class:`~repro.query.atoms.ConjunctiveQuery`.  With ``strategy`` (one
     of the six grid names or ``"SJ_HJ"``) the lowered physical plan is
-    attached and rendered as well.
+    attached and rendered as well.  With ``strategy="auto"`` the cost-based
+    optimizer prices all six strategies (under ``memory_tuples`` if given),
+    the per-strategy cost table is attached as ``cost_report``, and the
+    *chosen* strategy's lowered plan is rendered — the report shows
+    predicted and chosen side by side.
     """
     query = _as_query(query)
     catalog = Catalog(database)
@@ -132,7 +145,17 @@ def explain(
     config = optimize_config(query, cards, workers)
     best = best_join_order(query, catalog)
     shares = {v: float(d) for v, d in config.dims.items()}
-    physical = lower(query, strategy, catalog) if strategy is not None else None
+    cost_report: Optional[CostReport] = None
+    physical: Optional[PhysicalPlan] = None
+    if strategy == AUTO_STRATEGY:
+        optimized = optimize(
+            query, catalog, workers=workers, memory_tuples=memory_tuples
+        )
+        cost_report = optimized.report
+        physical = optimized.physical
+        strategy = optimized.choice
+    elif strategy is not None:
+        physical = lower(query, strategy, catalog)
     return Explanation(
         query=query,
         workers=workers,
@@ -148,6 +171,7 @@ def explain(
         order_cost=best,
         strategy=strategy,
         physical=physical,
+        cost_report=cost_report,
     )
 
 
@@ -241,6 +265,19 @@ class AnalyzedPlan:
         report = self.result.failure_report
         if report is not None and not stats.failed:
             lines.append(f"degraded: {report.describe()}")
+        costs = self.result.cost_report
+        if costs is not None:
+            try:
+                predicted = costs.cost_of(self.physical.strategy).wall_clock
+            except KeyError:  # degraded to a strategy outside the grid table
+                predicted = None
+            line = f"optimizer: chose {costs.choice}"
+            if predicted is not None:
+                line += (
+                    f" (predicted wall {predicted:,.0f}, "
+                    f"actual {stats.wall_clock:,.0f})"
+                )
+            lines.append(line)
         peak = max(stats.peak_memory.values(), default=0)
         lines.append(
             f"peak memory: {peak:,} tuples on the fullest worker "
@@ -317,11 +354,20 @@ def explain_analyze(
     cluster = Cluster(workers, MemoryBudget(per_worker_tuples=memory_tuples))
     cluster.load(database)
     catalog = Catalog(database)
-    physical = lower(parsed, strategy, catalog)
+    cost_report: Optional[CostReport] = None
+    if strategy == AUTO_STRATEGY:
+        optimized = optimize(
+            parsed, catalog, workers=workers, memory_tuples=memory_tuples
+        )
+        cost_report = optimized.report
+        physical = optimized.physical
+    else:
+        physical = lower(parsed, strategy, catalog)
     trace: list[OperatorTrace] = []
     result = execute_physical(
         physical, cluster, runtime=runtime, kernels=kernels, trace=trace,
         faults=faults, recovery=recovery,
     )
+    result.cost_report = cost_report
     executed = result.physical if result.physical is not None else physical
     return annotate_plan(executed, result, trace)

@@ -5,6 +5,24 @@ of every relation, the number of distinct values of each variable in each
 relation, and the number of distinct *prefix* values ``V(R, p)`` under a
 candidate global variable order.  :class:`Catalog` computes and caches these
 over a :class:`~repro.storage.relation.Database`.
+
+Every statistic is computed on the relation *after* the atom's constant
+selections (selection pushdown, the paper's footnote 3) and memoized:
+
+- the filtered relation itself is cached per ``(relation, constants)``;
+- distinct-prefix counts are cached per ``(relation, constants, positions)``;
+- heavy-hitter counts (the largest key group, used by the cost-based
+  optimizer's skew estimates) are cached the same way.
+
+Zero-cardinality contract: the raw statistics (:meth:`Catalog.atom_cardinality`,
+:meth:`Catalog.atom_prefix_count`, :meth:`Catalog.distinct_prefix`, ...)
+report truthful counts *including zero* — a constant selecting nothing is an
+empty relation and the statistics say so.  Consumers that need positive
+numbers clamp explicitly at their own boundary: :func:`cardinalities_for`
+clamps to ``max(1, .)`` because the shares LP and the AGM bound need strictly
+positive inputs, and the cost models (``leapfrog/variable_order``,
+``planner/optimizer``) short-circuit empty queries to trivial plans instead
+of dividing by a zero prefix count.
 """
 
 from __future__ import annotations
@@ -22,8 +40,12 @@ class Catalog:
         self.database = database
         self._prefix_cache: dict[tuple[str, tuple[int, ...]], int] = {}
         self._atom_prefix_cache: dict[tuple, int] = {}
+        self._filtered_cache: dict[tuple, Relation] = {}
+        self._group_counts_cache: dict[tuple, dict[tuple[int, ...], int]] = {}
+        self._join_product_cache: dict[tuple, int] = {}
 
     def cardinality(self, relation_name: str) -> int:
+        """Base cardinality of one stored relation."""
         return len(self.database[relation_name])
 
     def atom_cardinalities(self, query: ConjunctiveQuery) -> dict[str, int]:
@@ -39,11 +61,7 @@ class Catalog:
         if key in self._prefix_cache:
             return self._prefix_cache[key]
         relation = self.database[relation_name]
-        if not positions:
-            count = 1 if len(relation) else 0
-        else:
-            seen = {tuple(row[p] for p in positions) for row in relation.rows}
-            count = len(seen)
+        count = _distinct_count(relation, tuple(positions))
         self._prefix_cache[key] = count
         return count
 
@@ -61,16 +79,14 @@ class Catalog:
         to several positions in the atom contribute their first position (the
         remaining positions act as filters, which the cost model ignores —
         the standard independence simplification).
+
+        Delegates to :meth:`atom_prefix_count_positions` so repeated calls
+        hit the per-(relation, constants, positions) cache — the optimizer's
+        cost loops evaluate the same prefixes for every candidate strategy.
         """
         atom_vars = [v for v in order if v in atom.variables()][:length]
         positions = [atom.positions_of(v)[0] for v in atom_vars]
-        # Constant positions in the atom pre-filter the relation; the
-        # statistics are computed on the filtered relation.
-        relation = self._filtered(atom)
-        if not positions:
-            return 1 if len(relation) else 0
-        seen = {tuple(row[p] for p in positions) for row in relation.rows}
-        return len(seen)
+        return self.atom_prefix_count_positions(atom, positions)
 
     def atom_prefix_count_positions(
         self, atom: Atom, positions: Sequence[int]
@@ -84,24 +100,137 @@ class Catalog:
         key = (atom.relation, atom.constants(), tuple(positions))
         if key in self._atom_prefix_cache:
             return self._atom_prefix_cache[key]
-        relation = self._filtered(atom)
-        if not positions:
-            count = 1 if len(relation) else 0
-        else:
-            seen = {tuple(row[p] for p in positions) for row in relation.rows}
-            count = len(seen)
+        count = _distinct_count(self._filtered(atom), tuple(positions))
         self._atom_prefix_cache[key] = count
         return count
 
+    def atom_distinct_values(self, atom: Atom, variable: Variable) -> int:
+        """``V(R_j, x)`` for one variable of an atom (post-selection)."""
+        positions = atom.positions_of(variable)
+        if not positions:
+            raise KeyError(f"{variable!r} does not occur in atom {atom.alias}")
+        return self.atom_prefix_count_positions(atom, positions[:1])
+
     def atom_cardinality(self, atom: Atom) -> int:
-        """Cardinality of the atom's relation after applying its constants."""
+        """Cardinality of the atom's relation after applying its constants.
+
+        Returns the truthful count — 0 when the constants select nothing
+        (see the module docstring's zero-cardinality contract).
+        """
         return len(self._filtered(atom))
 
+    def atom_group_counts(
+        self, atom: Atom, positions: Sequence[int]
+    ) -> Mapping[tuple[int, ...], int]:
+        """Per-key group sizes: ``{key value: |rows with that key|}``.
+
+        The key-frequency histogram behind the optimizer's skew statistics.
+        ``positions=()`` groups everything into the empty key.  Cached per
+        (relation, constants, positions); callers must not mutate the
+        returned mapping.
+        """
+        key = (atom.relation, atom.constants(), tuple(positions))
+        cached = self._group_counts_cache.get(key)
+        if cached is not None:
+            return cached
+        groups: dict[tuple[int, ...], int] = {}
+        for row in self._filtered(atom).rows:
+            group = tuple(row[p] for p in positions)
+            groups[group] = groups.get(group, 0) + 1
+        self._group_counts_cache[key] = groups
+        return groups
+
+    def atom_max_group(self, atom: Atom, positions: Sequence[int]) -> int:
+        """The largest key group: ``max_v |{rows with key = v}|``.
+
+        This is the heavy-hitter statistic behind the optimizer's consumer
+        skew estimates — every tuple of the heaviest key lands on one worker
+        under a hash shuffle, so the max per-worker receive load is at least
+        this number.  ``positions=()`` returns the filtered cardinality (one
+        group).
+        """
+        return max(self.atom_group_counts(atom, positions).values(), default=0)
+
+    def join_group_product(
+        self,
+        left: Atom,
+        left_positions: Sequence[int],
+        right: Atom,
+        right_positions: Sequence[int],
+    ) -> int:
+        """Exact equi-join size of two base atoms on the given key columns:
+        ``sum over key values v of |left rows with v| * |right rows with v|``.
+
+        On skewed data this is the number the System-R independence estimate
+        ``|L|*|R| / max(V)`` misses by orders of magnitude (a power-law
+        two-hop join is dominated by its heavy hitters), so the optimizer's
+        intermediate-size estimates anchor on it.  Cached symmetrically per
+        (left key, right key); cost is one pass over the smaller histogram.
+        """
+        left_key = (left.relation, left.constants(), tuple(left_positions))
+        right_key = (right.relation, right.constants(), tuple(right_positions))
+        cache_key = (left_key, right_key)
+        cached = self._join_product_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        a = self.atom_group_counts(left, left_positions)
+        b = self.atom_group_counts(right, right_positions)
+        if len(b) < len(a):
+            a, b = b, a
+        product = sum(count * b.get(group, 0) for group, count in a.items())
+        self._join_product_cache[cache_key] = product
+        self._join_product_cache[(right_key, left_key)] = product
+        return product
+
+    def empty_atoms(self, query: ConjunctiveQuery) -> tuple[str, ...]:
+        """Aliases whose post-selection relation is empty.
+
+        A conjunctive query with any empty atom has an empty result; cost
+        models use this to short-circuit to a trivial plan instead of
+        forming ``V(p_i)/V(p_{i-1})`` ratios over zero counts.
+        """
+        return tuple(
+            atom.alias for atom in query.atoms if self.atom_cardinality(atom) == 0
+        )
+
+    def fingerprint(self) -> int:
+        """A digest of the database contents for plan-cache keying.
+
+        Combines every relation's name, schema, and content digest (cached
+        on the immutable :class:`~repro.storage.relation.Relation` itself),
+        so replacing or reloading a relation changes the fingerprint while
+        repeated calls over unchanged data are cheap.
+        """
+        return hash(
+            tuple(
+                (name, relation.columns, relation.content_digest())
+                for name, relation in sorted(self.database.relations().items())
+            )
+        )
+
     def _filtered(self, atom: Atom) -> Relation:
+        """The atom's relation after constant selections, cached.
+
+        Cached per (relation, constants) so the optimizer's repeated
+        selection pushdown during costing reuses one materialization.
+        """
+        key = (atom.relation, atom.constants())
+        cached = self._filtered_cache.get(key)
+        if cached is not None:
+            return cached
         relation = self.database[atom.relation]
         for position, constant in atom.constants():
             relation = relation.select(position, self.database.encode(constant.value))
+        self._filtered_cache[key] = relation
         return relation
+
+
+def _distinct_count(relation: Relation, positions: tuple[int, ...]) -> int:
+    """Distinct combinations of ``positions`` (empty prefix: 1 if non-empty)."""
+    if not positions:
+        return 1 if len(relation) else 0
+    seen = {tuple(row[p] for p in positions) for row in relation.rows}
+    return len(seen)
 
 
 def cardinalities_for(
@@ -111,7 +240,10 @@ def cardinalities_for(
 
     The paper pushes selections like ``ObjectName(a1, "Joe Pesci")`` below
     the shuffle (its footnote 3), so the shares LP and the planner both see
-    the post-selection sizes.
+    the post-selection sizes.  Clamped to ``max(1, .)`` — the LP and the AGM
+    bound need strictly positive cardinalities; callers that must
+    distinguish a genuinely empty selection use
+    :meth:`Catalog.atom_cardinality` / :meth:`Catalog.empty_atoms` instead.
     """
     catalog = Catalog(database)
     return {atom.alias: max(1, catalog.atom_cardinality(atom)) for atom in query.atoms}

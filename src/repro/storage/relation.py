@@ -25,6 +25,7 @@ class Relation:
         if not self.columns:
             raise ValueError(f"relation {name} needs at least one column")
         self._rows: list[tuple[int, ...]] = list(rows)
+        self._digest: Union[int, None] = None
         arity = len(self.columns)
         for row in self._rows:
             if len(row) != arity:
@@ -77,6 +78,18 @@ class Relation:
 
     def distinct(self) -> "Relation":
         return Relation(self.name, self.columns, dict.fromkeys(self._rows))
+
+    def content_digest(self) -> int:
+        """A digest of this relation's rows, computed once and memoized.
+
+        Relations are immutable by contract (mutation replaces the instance
+        — see :meth:`with_rows`), so the digest is stable for the lifetime
+        of the object.  The statistics catalog combines these into a
+        database fingerprint for plan-cache invalidation.
+        """
+        if self._digest is None:
+            self._digest = hash(tuple(self._rows))
+        return self._digest
 
     def with_rows(self, rows: list[tuple[int, ...]]) -> "Relation":
         """Same schema over a subset of this relation's rows.

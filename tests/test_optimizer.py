@@ -1,0 +1,330 @@
+"""Tests for the cost-based strategy optimizer and its plan cache.
+
+Covers the two catalog regressions this change fixed (prefix-count cache
+misses, empty-selection zero-cardinality handling), the statistics the
+optimizer consumes (group histograms, exact join products), the plan
+cache's hit/invalidation semantics, and the auto-vs-explicit differential:
+``strategy="auto"`` must be bit-identical to naming the chosen strategy.
+"""
+
+import pytest
+
+import repro.query.catalog as catalog_module
+from repro.planner import (
+    ALL_STRATEGIES,
+    AUTO_STRATEGY,
+    PlanCache,
+    estimate_costs,
+    explain,
+    optimize,
+    run_query,
+)
+from repro.planner.optimizer import TRIVIAL_STRATEGY, normalize_query
+from repro.query.atoms import Atom, Constant, Variable
+from repro.query.catalog import Catalog
+from repro.query.parser import parse_query
+from repro.storage.generators import twitter_database
+from repro.storage.relation import Database
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+TRIANGLE = parse_query(
+    "Q(x, y, z) :- R:Twitter(x, y), S:Twitter(y, z), T:Twitter(z, x)."
+)
+
+STRATEGY_NAMES = tuple(s.name for s in ALL_STRATEGIES)
+
+
+def small_db():
+    db = Database()
+    db.add_rows(
+        "R", ("a", "b"),
+        [(1, 10), (1, 20), (2, 10), (2, 10), (3, 30)],
+    )
+    db.add_rows("S", ("b", "c"), [(10, 100), (10, 200), (20, 100)])
+    return db
+
+
+def graph_db(**overrides):
+    params = dict(nodes=400, edges=1600, seed=7)
+    params.update(overrides)
+    return twitter_database(**params)
+
+
+# ----------------------------------------------------------------------
+# Catalog regressions: the statistics the optimizer feeds on
+# ----------------------------------------------------------------------
+
+
+class TestAtomPrefixCountCache:
+    def test_repeated_calls_compute_once(self, monkeypatch):
+        catalog = Catalog(small_db())
+        atom = Atom("R", (X, Y), alias="R1")
+        calls = []
+        real = catalog_module._distinct_count
+
+        def counting(relation, positions):
+            calls.append(positions)
+            return real(relation, positions)
+
+        monkeypatch.setattr(catalog_module, "_distinct_count", counting)
+        first = catalog.atom_prefix_count(atom, (X, Y), 1)
+        second = catalog.atom_prefix_count(atom, (X, Y), 1)
+        assert first == second == 3
+        assert len(calls) == 1, "second call must hit _atom_prefix_cache"
+
+    def test_prefix_count_shares_cache_with_positions_form(self, monkeypatch):
+        catalog = Catalog(small_db())
+        atom = Atom("R", (X, Y), alias="R1")
+        calls = []
+        real = catalog_module._distinct_count
+
+        def counting(relation, positions):
+            calls.append(positions)
+            return real(relation, positions)
+
+        monkeypatch.setattr(catalog_module, "_distinct_count", counting)
+        via_order = catalog.atom_prefix_count(atom, (Y, X), 1)
+        via_positions = catalog.atom_prefix_count_positions(atom, [1])
+        assert via_order == via_positions == 3
+        assert len(calls) == 1, (
+            "order-based and position-based lookups must share one entry"
+        )
+
+    def test_constants_key_separate_entries(self):
+        catalog = Catalog(small_db())
+        plain = Atom("R", (X, Y))
+        selected = Atom("R", (Constant(1), Y))
+        assert catalog.atom_prefix_count_positions(plain, [1]) == 3
+        assert catalog.atom_prefix_count_positions(selected, [1]) == 2
+        assert len(catalog._atom_prefix_cache) == 2
+
+
+class TestFilteredCache:
+    def test_filtered_relation_is_reused(self):
+        catalog = Catalog(small_db())
+        atom = Atom("R", (Constant(1), Y))
+        first = catalog._filtered(atom)
+        second = catalog._filtered(atom)
+        assert first is second
+        assert len(catalog._filtered_cache) == 1
+
+    def test_statistics_share_the_filtered_relation(self):
+        catalog = Catalog(small_db())
+        atom = Atom("R", (Constant(2), Y))
+        assert catalog.atom_cardinality(atom) == 2
+        assert catalog.atom_prefix_count_positions(atom, [1]) == 1
+        assert len(catalog._filtered_cache) == 1
+
+
+class TestGroupStatistics:
+    def test_atom_group_counts_histogram(self):
+        catalog = Catalog(small_db())
+        atom = Atom("R", (X, Y))
+        groups = catalog.atom_group_counts(atom, (0,))
+        assert dict(groups) == {(1,): 2, (2,): 2, (3,): 1}
+
+    def test_atom_group_counts_empty_positions(self):
+        catalog = Catalog(small_db())
+        atom = Atom("R", (X, Y))
+        assert dict(catalog.atom_group_counts(atom, ())) == {(): 5}
+
+    def test_atom_max_group_matches_histogram(self):
+        catalog = Catalog(small_db())
+        atom = Atom("R", (X, Y))
+        assert catalog.atom_max_group(atom, (1,)) == 3  # b=10 thrice
+
+    def test_join_group_product_is_exact(self):
+        catalog = Catalog(small_db())
+        r = Atom("R", (X, Y))
+        s = Atom("S", (Y, Z))
+        product = catalog.join_group_product(r, (1,), s, (0,))
+        # b=10: 3 rows in R, 2 in S; b=20: 1 row in R, 1 in S
+        assert product == 3 * 2 + 1 * 1
+        # symmetric call hits the mirrored cache entry
+        assert catalog.join_group_product(s, (0,), r, (1,)) == product
+
+
+# ----------------------------------------------------------------------
+# Zero-cardinality semantics: empty selections end-to-end
+# ----------------------------------------------------------------------
+
+
+EMPTY_SELECTION = "Q(y, z) :- R:Twitter(999999, y), S:Twitter(y, z)."
+
+
+class TestEmptySelection:
+    def test_catalog_reports_truthful_zero(self):
+        catalog = Catalog(graph_db())
+        atom = Atom("Twitter", (Constant(999999), Y), alias="R")
+        assert catalog.atom_cardinality(atom) == 0
+
+    def test_empty_atoms_lists_the_empty_alias(self):
+        query = parse_query(EMPTY_SELECTION)
+        catalog = Catalog(graph_db())
+        assert catalog.empty_atoms(query) == ("R",)
+
+    def test_estimate_costs_short_circuits_to_trivial(self):
+        query = parse_query(EMPTY_SELECTION)
+        report = estimate_costs(query, Catalog(graph_db()), workers=16)
+        assert report.trivial
+        assert report.choice == TRIVIAL_STRATEGY
+        assert {c.strategy for c in report.costs} == set(STRATEGY_NAMES)
+        assert all(c.wall_clock == 0.0 for c in report.costs)
+
+    @pytest.mark.parametrize("strategy", STRATEGY_NAMES + (AUTO_STRATEGY,))
+    def test_run_query_returns_zero_rows(self, strategy):
+        result = run_query(
+            EMPTY_SELECTION, graph_db(), strategy=strategy, workers=4
+        )
+        assert result.rows == []
+        assert not result.stats.failed
+
+    def test_explain_auto_handles_empty_selection(self):
+        explanation = explain(
+            EMPTY_SELECTION, graph_db(), workers=4, strategy=AUTO_STRATEGY
+        )
+        assert explanation.cost_report is not None
+        assert explanation.cost_report.trivial
+        assert explanation.strategy == TRIVIAL_STRATEGY
+        assert "trivial" in explanation.render()
+
+
+# ----------------------------------------------------------------------
+# The cost report
+# ----------------------------------------------------------------------
+
+
+class TestCostReport:
+    def test_all_six_strategies_priced(self):
+        report = estimate_costs(TRIANGLE, Catalog(graph_db()), workers=16)
+        assert {c.strategy for c in report.costs} == set(STRATEGY_NAMES)
+        assert report.choice in STRATEGY_NAMES
+        assert all(c.wall_clock > 0 for c in report.costs)
+
+    def test_ranking_sorted_by_cost(self):
+        report = estimate_costs(TRIANGLE, Catalog(graph_db()), workers=16)
+        ranked = report.ranking()
+        costs = [entry.cost for entry in ranked]
+        assert costs == sorted(costs)
+        assert ranked[0].strategy == report.choice
+
+    def test_render_marks_the_choice(self):
+        report = estimate_costs(TRIANGLE, Catalog(graph_db()), workers=16)
+        rendered = report.render()
+        assert "<- chosen" in rendered
+        for name in STRATEGY_NAMES:
+            assert name in rendered
+
+
+# ----------------------------------------------------------------------
+# The plan cache
+# ----------------------------------------------------------------------
+
+
+class TestPlanCache:
+    def test_second_lookup_hits(self):
+        db = graph_db()
+        catalog = Catalog(db)
+        cache = PlanCache()
+        first = optimize(TRIANGLE, catalog, workers=8, cache=cache)
+        second = optimize(TRIANGLE, catalog, workers=8, cache=cache)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.physical is first.physical
+        assert second.report is first.report
+        assert cache.hits == 1 and cache.misses == 1 and len(cache) == 1
+
+    def test_rule_rename_still_hits(self):
+        renamed = parse_query(
+            "Other(x, y, z) :- R:Twitter(x, y), S:Twitter(y, z), "
+            "T:Twitter(z, x)."
+        )
+        assert normalize_query(renamed) == normalize_query(TRIANGLE)
+        catalog = Catalog(graph_db())
+        cache = PlanCache()
+        optimize(TRIANGLE, catalog, workers=8, cache=cache)
+        hit = optimize(renamed, catalog, workers=8, cache=cache)
+        assert hit.cache_hit
+
+    def test_data_mutation_changes_fingerprint_and_misses(self):
+        db = graph_db()
+        cache = PlanCache()
+        before = Catalog(db).fingerprint()
+        optimize(TRIANGLE, Catalog(db), workers=8, cache=cache)
+        relation = db["Twitter"]
+        rows = list(relation.rows) + [(999999, 999998)]
+        db.add_rows("Twitter", relation.columns, rows)
+        after = Catalog(db).fingerprint()
+        assert before != after
+        refreshed = optimize(TRIANGLE, Catalog(db), workers=8, cache=cache)
+        assert not refreshed.cache_hit
+        assert cache.misses == 2 and len(cache) == 2
+
+    def test_cluster_shape_keys_separately(self):
+        catalog = Catalog(graph_db())
+        cache = PlanCache()
+        optimize(TRIANGLE, catalog, workers=8, cache=cache)
+        other_workers = optimize(TRIANGLE, catalog, workers=16, cache=cache)
+        other_memory = optimize(
+            TRIANGLE, catalog, workers=8, memory_tuples=10_000, cache=cache
+        )
+        assert not other_workers.cache_hit
+        assert not other_memory.cache_hit
+        assert len(cache) == 3
+
+    def test_cache_none_bypasses(self):
+        catalog = Catalog(graph_db())
+        first = optimize(TRIANGLE, catalog, workers=8, cache=None)
+        second = optimize(TRIANGLE, catalog, workers=8, cache=None)
+        assert not first.cache_hit and not second.cache_hit
+
+    def test_variable_order_override_bypasses(self):
+        catalog = Catalog(graph_db())
+        cache = PlanCache()
+        ordered = optimize(
+            TRIANGLE, catalog, workers=8, variable_order=(X, Y, Z), cache=cache
+        )
+        assert not ordered.cache_hit
+        assert len(cache) == 0, "overridden plans must not poison the cache"
+
+    def test_clear_resets_counters(self):
+        catalog = Catalog(graph_db())
+        cache = PlanCache()
+        optimize(TRIANGLE, catalog, workers=8, cache=cache)
+        optimize(TRIANGLE, catalog, workers=8, cache=cache)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+
+# ----------------------------------------------------------------------
+# Auto vs. explicit: the differential the optimizer must not break
+# ----------------------------------------------------------------------
+
+
+class TestAutoGoldenDifferential:
+    @pytest.mark.parametrize(
+        "query_text",
+        [
+            "Q(x, y, z) :- R:Twitter(x, y), S:Twitter(y, z), "
+            "T:Twitter(z, x).",
+            "Q(x, y) :- R:Twitter(x, y), S:Twitter(y, x).",
+        ],
+    )
+    def test_auto_is_bit_identical_to_chosen_strategy(self, query_text):
+        db = graph_db()
+        query = parse_query(query_text)
+        choice = estimate_costs(query, Catalog(db), workers=8).choice
+        auto = run_query(query, db, strategy=AUTO_STRATEGY, workers=8)
+        explicit = run_query(query, db, strategy=choice, workers=8)
+        assert auto.stats.strategy == choice
+        assert auto.rows == explicit.rows
+        assert auto.stats.wall_clock == explicit.stats.wall_clock
+        assert auto.stats.total_cpu == explicit.stats.total_cpu
+        assert auto.stats.tuples_shuffled == explicit.stats.tuples_shuffled
+
+    def test_auto_result_carries_the_cost_report(self):
+        db = graph_db()
+        result = run_query(TRIANGLE, db, strategy=AUTO_STRATEGY, workers=8)
+        assert result.cost_report is not None
+        assert result.cost_report.choice == result.stats.strategy
