@@ -27,14 +27,24 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+import numpy as np  # noqa: E402
+
 from repro.engine import kernels  # noqa: E402
 from repro.engine.frame import atom_frame  # noqa: E402
 from repro.hypercube.config import optimize_config  # noqa: E402
 from repro.hypercube.mapping import HyperCubeMapping  # noqa: E402
+from repro.leapfrog.tributary import TributaryJoin  # noqa: E402
 from repro.workloads.registry import PAPER_ORDER, WORKLOADS  # noqa: E402
 
 WORKERS = 64
-KERNELS = ("shuffle_routing", "hypercube_routing", "sort", "hash_join", "scan_filter")
+KERNELS = (
+    "shuffle_routing", "hypercube_routing", "sort", "hash_join",
+    "scan_filter", "wcoj_seek", "wcoj_leapfrog",
+)
+
+#: input cap per relation for the full-join microbenchmark, so the scalar
+#: reference stays tractable on the widest self-joins (Q2, Q5, Q6)
+WCOJ_CAP = 25_000
 
 
 def _best_of(fn, repeats: int) -> tuple[float, object]:
@@ -142,6 +152,64 @@ def bench_workload(workload, scale: str, repeats: int) -> dict:
 
     record("scan_filter", run_scan)
 
+    # 6. WCOJ seek micro-kernel: one trie-level seek per distinct first key
+    # of the largest frame — the python side performs the TrieIterator's
+    # bounded binary search per seek, the numpy side one batched
+    # searchsorted over the packed run-grouped prefix keys
+    with kernels.use_backend("numpy"):
+        _, sorted_columns = kernels.sort_projected(frame.rows, permutation)
+    if sorted_columns.shape[0] >= 2 and sorted_columns.shape[1] > 0:
+        packing = kernels.packed_key_levels(sorted_columns)
+    else:
+        packing = None
+    if packing is not None:
+        sorted_rows = kernels.rows_from_columns(sorted_columns)
+        packed_levels, lows, spans = packing
+        level0 = packed_levels[0]
+        change = np.flatnonzero(level0[1:] != level0[:-1]) + 1
+        starts = np.concatenate(
+            (np.zeros(1, dtype=np.int64), change.astype(np.int64))
+        )
+        ends = np.concatenate(
+            (starts[1:], np.asarray([level0.size], dtype=np.int64))
+        )
+        # seek the median second-column value of each run: realistic
+        # mid-block landings, deterministic per dataset
+        targets = sorted_columns[1][(starts + ends) // 2]
+        prefixes = level0[starts]
+        seek_args = list(zip(targets.tolist(), starts.tolist(), ends.tolist()))
+
+        def run_seeks():
+            if kernels.get_backend() == "numpy":
+                return kernels.batched_seek_lower_bounds(
+                    packed_levels[1], prefixes, targets, lows[1], spans[1]
+                ).tolist()
+            return [
+                kernels.lower_bound(sorted_rows, 1, value, lo, hi)
+                for value, lo, hi in seek_args
+            ]
+
+        record("wcoj_seek", run_seeks)
+
+    # 7. the full WCOJ trie walk: scalar tuple-at-a-time vs the
+    # block-at-a-time vectorized backend, same prepared join (inputs capped
+    # so the scalar reference stays tractable)
+    capped = {
+        alias: relation
+        if len(relation.rows) <= WCOJ_CAP
+        else relation.with_rows(relation.rows[:WCOJ_CAP])
+        for alias, relation in relations.items()
+    }
+    joins = {}
+    for backend in kernels.KERNEL_BACKENDS:
+        with kernels.use_backend(backend):
+            joins[backend] = TributaryJoin(query, capped, encoder=database.encode)
+    if all(p.size > 0 for p in joins["numpy"]._prepared):
+        record(
+            "wcoj_leapfrog",
+            lambda: list(joins[kernels.get_backend()].iterate()),
+        )
+
     results["input_rows"] = {"largest_frame": len(frame.rows), "total": sum(sizes.values())}
     return results
 
@@ -175,8 +243,16 @@ def main(argv=None) -> int:
 
     aggregate = {}
     for kernel in KERNELS:
-        python_s = sum(per_workload[n][kernel]["python"] for n in names)
-        numpy_s = sum(per_workload[n][kernel]["numpy"] for n in names)
+        # a kernel can be absent for a workload (e.g. wcoj_seek when the
+        # key ranges do not pack into 64 bits)
+        python_s = sum(
+            per_workload[n][kernel]["python"] for n in names
+            if kernel in per_workload[n]
+        )
+        numpy_s = sum(
+            per_workload[n][kernel]["numpy"] for n in names
+            if kernel in per_workload[n]
+        )
         aggregate[kernel] = {
             "python_seconds": python_s,
             "numpy_seconds": numpy_s,

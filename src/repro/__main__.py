@@ -245,7 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "'auto' for the cost-based optimizer")
     run_cmd.add_argument("--workers", type=int, default=16)
     run_cmd.add_argument("--runtime", default="serial",
-                         help="worker runtime: 'serial' or 'parallel[:N]'")
+                         help="worker runtime: 'serial', 'parallel[:N]' (threads), or 'parallel:N:proc' (processes)")
     run_cmd.add_argument("--kernels", choices=KERNEL_BACKENDS, default=None,
                          help="kernel backend (default: $REPRO_KERNELS or numpy)")
     run_cmd.add_argument("--show-rows", type=int, default=0,
@@ -277,7 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="execute the plan and annotate each "
                                   "operator with its counted metrics")
     explain_cmd.add_argument("--runtime", default="serial",
-                             help="worker runtime: 'serial' or 'parallel[:N]'")
+                             help="worker runtime: 'serial', 'parallel[:N]' (threads), or 'parallel:N:proc' (processes)")
     explain_cmd.add_argument("--kernels", choices=KERNEL_BACKENDS, default=None,
                              help="kernel backend (default: $REPRO_KERNELS or numpy)")
     explain_cmd.add_argument("--faults", default=None, metavar="PLAN.JSON",
@@ -292,7 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     grid_cmd.add_argument("--workers", type=int, default=64)
     grid_cmd.add_argument("--scale", default="bench", choices=("unit", "bench"))
     grid_cmd.add_argument("--runtime", default="serial",
-                          help="worker runtime: 'serial' or 'parallel[:N]'")
+                          help="worker runtime: 'serial', 'parallel[:N]' (threads), or 'parallel:N:proc' (processes)")
     grid_cmd.add_argument("--kernels", choices=KERNEL_BACKENDS, default=None,
                           help="kernel backend (default: $REPRO_KERNELS or numpy)")
     grid_cmd.add_argument("--no-memory-budget", action="store_true")

@@ -428,6 +428,83 @@ def distinct_prefix_count(
 
 
 # ----------------------------------------------------------------------
+# Batched WCOJ trie seeks (the vectorized leapfrog inner loop)
+# ----------------------------------------------------------------------
+
+
+def packed_key_levels(
+    columns: np.ndarray,
+) -> Optional[tuple[list[np.ndarray], list[int], list[int]]]:
+    """Per-depth packed prefix keys of a sorted ``(width, n)`` column array.
+
+    ``packed[d]`` holds one uint64 per row encoding the row's key prefix of
+    length ``d + 1`` (``packed[d] = packed[d-1] * span_d + (col_d - low_d)``).
+    Because the rows are sorted lexicographically, every ``packed[d]`` is
+    globally non-decreasing, so a binary search *within one trie block* is
+    the same as a single global ``np.searchsorted`` over ``packed[d]`` —
+    which is what lets :mod:`~repro.leapfrog.vectorized` batch the seeks of
+    thousands of sibling trie contexts into one call.
+
+    Returns ``(packed levels, lows, spans)``, or ``None`` when the
+    cumulative span product does not fit 64 bits (callers fall back to the
+    scalar iterator).
+    """
+    width, _ = columns.shape
+    packed_levels: list[np.ndarray] = []
+    lows: list[int] = []
+    spans: list[int] = []
+    capacity = 1
+    previous: Optional[np.ndarray] = None
+    for depth in range(width):
+        column = columns[depth]
+        low = int(column.min())
+        span = int(column.max()) - low + 1
+        capacity *= span
+        if capacity >= 2**63:  # conservative headroom below 2**64
+            return None
+        offsets = (column - low).astype(np.uint64)
+        if previous is None:
+            current = offsets
+        else:
+            current = previous * np.uint64(span) + offsets
+        packed_levels.append(current)
+        lows.append(low)
+        spans.append(span)
+        previous = current
+    return packed_levels, lows, spans
+
+
+def run_bounds(packed: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Batched ``upper_bound``: the end of each position's equal-key run.
+
+    Equivalent to one :func:`upper_bound` call per position (the trie
+    iterator's block-end search after ``open``/``next``/``seek``), answered
+    with a single vectorized ``np.searchsorted``.
+    """
+    return np.searchsorted(packed, packed[positions], side="right")
+
+
+def batched_seek_lower_bounds(
+    packed: np.ndarray,
+    prefix_keys: np.ndarray,
+    values: np.ndarray,
+    low: int,
+    span: int,
+) -> np.ndarray:
+    """Batched LFTJ ``seek``: first index whose key under ``prefix`` is
+    ``>= value``, for many (prefix, value) pairs at once.
+
+    ``prefix_keys`` are the packed keys *above* this level (zeros at level
+    0); ``values`` are the seek targets.  Clipping the target offset into
+    ``[0, span]`` makes out-of-range targets resolve to the run start /
+    run end exactly like the scalar binary search bounded by the block.
+    """
+    offsets = np.clip(values - low, 0, span).astype(np.uint64)
+    targets = prefix_keys * np.uint64(span) + offsets
+    return np.searchsorted(packed, targets, side="left")
+
+
+# ----------------------------------------------------------------------
 # Hash-join build/probe
 # ----------------------------------------------------------------------
 

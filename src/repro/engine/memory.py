@@ -40,6 +40,12 @@ class OutOfMemoryError(RuntimeError):
         self.resident = resident
         self.budget = budget
 
+    def __reduce__(self):
+        """Pickle support: the default exception reduction replays only the
+        formatted message into the 4-argument ``__init__`` and fails; the
+        process runtime ships these across worker pipes."""
+        return (OutOfMemoryError, (self.worker, self.phase, self.resident, self.budget))
+
 
 @dataclass
 class MemoryBudget:

@@ -6,12 +6,20 @@ another on a single core.  HoneyComb (Wu & Suciu, 2025) makes the case that
 worst-case-optimal distributed joins only pay off at scale when local
 evaluation exploits multicores — this module is that seam.
 
-Two runtimes implement the same contract:
+Three runtimes implement the same contract:
 
 - :class:`SerialRuntime` — runs worker tasks in worker-id order on the
   calling thread (bit-identical to the historical behavior);
 - :class:`ParallelRuntime` — runs them concurrently on a
-  :class:`concurrent.futures.ThreadPoolExecutor`.
+  :class:`concurrent.futures.ThreadPoolExecutor`;
+- :class:`ProcessRuntime` — runs them on a forked
+  :class:`multiprocessing.Pool` (``--runtime parallel:N:proc``), the only
+  mode that escapes the GIL for true multicore wall-clock speedup.
+  Inbound state (relation fragments, slots, closures) reaches the children
+  through fork copy-on-write; large result blocks return through
+  :mod:`~repro.engine.shm` shared-memory segments instead of the pickle
+  pipe; each worker's ledger is pickled back and merged exactly like the
+  thread runtime's.
 
 Determinism is guaranteed by construction rather than by locking: every
 worker task receives an isolated :class:`WorkerLedger` — a per-worker
@@ -31,12 +39,15 @@ serial execution leaves behind.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, Union
 
+from .frame import Frame
 from .memory import MemoryBudget, WorkerMemoryAccount
+from .shm import SharedRows, share_rows
 from .stats import ExecutionStats, WorkerStats
 
 #: a worker task: called with (worker id, its ledger), returns any value
@@ -88,6 +99,16 @@ class WorkerRuntime:
     ) -> None:
         stats.merge_worker(ledger.stats)
         memory.commit(ledger.memory)
+
+    def fault_safe(self) -> "WorkerRuntime":
+        """The runtime to substitute while a fault session is active.
+
+        Fault injection mutates driver-side session state (fired specs,
+        straggler ledger wrappers) from inside worker tasks; a forked child
+        would lose those mutations, so :class:`ProcessRuntime` degrades to
+        the thread pool here.  In-process runtimes return themselves.
+        """
+        return self
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -174,6 +195,142 @@ class ParallelRuntime(WorkerRuntime):
         return f"ParallelRuntime(max_workers={self.max_workers})"
 
 
+# ----------------------------------------------------------------------
+# Process-backed runtime
+# ----------------------------------------------------------------------
+
+#: (task, ledgers) handed to forked children; worker tasks are closures
+#: over live scheduler state and cannot pickle, so they travel by fork
+#: inheritance instead — set immediately before the pool forks, cleared
+#: right after it joins
+_FORK_STATE: Optional[tuple[WorkerTask, dict[int, WorkerLedger]]] = None
+
+
+@dataclass
+class _SharedFrame:
+    """A :class:`Frame` whose rows crossed the process boundary via shm."""
+
+    variables: tuple
+    shared: SharedRows
+
+
+def _encode_payload(item: Any) -> Any:
+    """Swap large row blocks for shared-memory handles before pickling."""
+    if isinstance(item, Frame):
+        shared = share_rows(item.rows)
+        if shared is not None:
+            return _SharedFrame(item.variables, shared)
+    elif isinstance(item, list) and item and isinstance(item[0], tuple):
+        shared = share_rows(item)
+        if shared is not None:
+            return shared
+    return item
+
+
+def _decode_payload(item: Any) -> Any:
+    """Reattach shared-memory handles back into frames / row lists."""
+    if isinstance(item, _SharedFrame):
+        return Frame(item.variables, item.shared.load())
+    if isinstance(item, SharedRows):
+        return item.load()
+    return item
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {key: _encode_payload(item) for key, item in value.items()}
+    return _encode_payload(value)
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {key: _decode_payload(item) for key, item in value.items()}
+    return _decode_payload(value)
+
+
+def _fork_invoke(worker: int):
+    """Run one worker task inside a forked pool child.
+
+    Returns ``(worker, encoded value, mutated ledger, error)``; the ledger
+    rides back even when the task raised, so the parent can honor the
+    commit-before-lowest-failure contract exactly like the other runtimes.
+    """
+    task, ledgers = _FORK_STATE
+    ledger = ledgers[worker]
+    try:
+        value = task(worker, ledger)
+    except Exception as error:
+        return worker, None, ledger, error
+    return worker, _encode_value(value), ledger, None
+
+
+class ProcessRuntime(WorkerRuntime):
+    """Run worker tasks on a forked :class:`multiprocessing.Pool`.
+
+    The only runtime that escapes the GIL: worker-local joins run on real
+    cores, so wall-clock time drops with core count while every counted
+    metric stays bit-identical to :class:`SerialRuntime` (the ledgers are
+    plain picklable dataclasses; floats survive the pickle round trip
+    exactly).  ``processes=None`` sizes the pool to the machine.
+
+    Requires the ``fork`` start method (closures and live cluster state
+    reach children by inheritance); on platforms without it, falls back to
+    the thread pool with identical semantics.  Fault-injected executions
+    degrade to threads too — see :meth:`WorkerRuntime.fault_safe`.
+    """
+
+    name = "process"
+
+    def __init__(self, processes: Optional[int] = None) -> None:
+        if processes is not None and processes < 1:
+            raise ValueError("ProcessRuntime needs at least one pool process")
+        self.processes = processes
+
+    def fault_safe(self) -> WorkerRuntime:
+        """Thread-pool stand-in while fault injection is active."""
+        return ParallelRuntime(max_workers=self.processes)
+
+    def map_workers(
+        self,
+        worker_ids: Iterable[int],
+        task: WorkerTask,
+        stats: ExecutionStats,
+        memory: MemoryBudget,
+    ) -> list:
+        """Fork a pool, run every worker task, merge the shipped-back
+        ledgers in worker order; values return via shm above the size
+        threshold, the pickle pipe below it."""
+        ids = list(worker_ids)
+        if not ids:
+            return []
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return ParallelRuntime(max_workers=self.processes).map_workers(
+                ids, task, stats, memory
+            )
+        global _FORK_STATE
+        ledgers = {worker: _open_ledger(worker, memory) for worker in ids}
+        pool_size = min(self.processes or (os.cpu_count() or 1), len(ids))
+        context = multiprocessing.get_context("fork")
+        _FORK_STATE = (task, ledgers)
+        try:
+            with context.Pool(processes=pool_size) as pool:
+                outcomes = pool.map(_fork_invoke, ids)
+        finally:
+            _FORK_STATE = None
+        shipped = {outcome[0]: outcome for outcome in outcomes}
+        values = []
+        for worker in ids:
+            _, value, ledger, error = shipped[worker]
+            self._commit(stats, memory, ledger)
+            if error is not None:
+                raise error
+            values.append(_decode_value(value))
+        return values
+
+    def __repr__(self) -> str:
+        return f"ProcessRuntime(processes={self.processes})"
+
+
 RuntimeLike = Union[str, WorkerRuntime, None]
 
 
@@ -181,8 +338,9 @@ def resolve_runtime(spec: RuntimeLike) -> WorkerRuntime:
     """Turn a runtime spec into a runtime instance.
 
     Accepts an existing :class:`WorkerRuntime`, ``None`` (→ serial), or the
-    CLI spellings ``"serial"``, ``"parallel"``, and ``"parallel:N"`` for a
-    pool of exactly ``N`` threads.
+    CLI spellings ``"serial"``, ``"parallel"`` / ``"parallel:N"`` for a
+    thread pool, and ``"parallel:N:proc"`` (or ``"parallel:proc"`` for a
+    machine-sized pool) for forked worker processes.
     """
     if spec is None:
         return SerialRuntime()
@@ -193,14 +351,27 @@ def resolve_runtime(spec: RuntimeLike) -> WorkerRuntime:
         return SerialRuntime()
     if text == "parallel":
         return ParallelRuntime()
+    if text == "parallel:proc":
+        return ProcessRuntime()
+    if text.startswith("parallel:") and text.endswith(":proc"):
+        try:
+            count = int(text[len("parallel:"): -len(":proc")])
+        except ValueError:
+            raise ValueError(
+                f"bad runtime spec {spec!r}; "
+                "use 'serial', 'parallel[:N]', or 'parallel:N:proc'"
+            ) from None
+        return ProcessRuntime(processes=count)
     if text.startswith("parallel:"):
         try:
             count = int(text.split(":", 1)[1])
         except ValueError:
             raise ValueError(
-                f"bad runtime spec {spec!r}; use 'serial' or 'parallel[:N]'"
+                f"bad runtime spec {spec!r}; "
+                "use 'serial', 'parallel[:N]', or 'parallel:N:proc'"
             ) from None
         return ParallelRuntime(max_workers=count)
     raise ValueError(
-        f"unknown runtime {spec!r}; use 'serial' or 'parallel[:N]'"
+        f"unknown runtime {spec!r}; "
+        "use 'serial', 'parallel[:N]', or 'parallel:N:proc'"
     )

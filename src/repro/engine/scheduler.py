@@ -563,8 +563,14 @@ def run_plan(
     session's recovery policy (checkpoint, retry-with-recompute, or
     :class:`~repro.engine.faults.FaultAbort`), and stragglers slow their
     target workers in every Round.  With ``faults=None`` execution is
-    bit-identical to the fault-free golden captures.
+    bit-identical to the fault-free golden captures.  An active session
+    swaps the runtime for its in-process stand-in
+    (:meth:`~repro.engine.runtime.WorkerRuntime.fault_safe`): injection
+    hooks mutate driver-side session state from inside worker tasks, which
+    forked processes would silently lose.
     """
+    if faults is not None:
+        runtime = runtime.fault_safe()
     state = _ExecState()
     for round_index, round_ in enumerate(plan.rounds):
         if faults is not None and faults.needs_recovery(round_index, round_.label):

@@ -193,17 +193,39 @@ class TributaryJoin:
         return results
 
     def iterate(self) -> Iterator[tuple[int, ...]]:
-        """Stream head tuples (duplicates possible for non-full queries)."""
+        """Stream head tuples (duplicates possible for non-full queries).
+
+        Under numpy kernels on the ``sorted`` backend the trie walk runs
+        block-at-a-time through :mod:`~repro.leapfrog.vectorized` (same
+        rows, same order, same seek counts — only faster); every other
+        configuration takes the scalar tuple-at-a-time walk.
+        """
         if any(p.size == 0 for p in self._prepared):
             return
-        binding = [0] * len(self.order)
+        # function-local import: vectorized imports engine.kernels, which
+        # would be circular at module load (engine imports this module)
+        from .vectorized import VectorizedTributaryRun
+
+        vectorized = VectorizedTributaryRun.build(self)
         try:
-            yield from self._join(0, binding)
+            if vectorized is not None:
+                for block in vectorized.blocks():
+                    yield from block
+            else:
+                binding = [0] * len(self.order)
+                yield from self._join(0, binding)
         finally:
             # runs on generator close too, so partially-consumed iterations
             # (max_seeks aborts, early-stopping consumers) still record the
             # seeks performed so far
             self.stats.seeks = self.total_seeks()
+
+    def _check_seek_budget(self) -> None:
+        """Raise :class:`SeekBudgetExceeded` when past ``max_seeks``."""
+        if self.max_seeks is not None:
+            seeks = self.total_seeks()
+            if seeks > self.max_seeks:
+                raise SeekBudgetExceeded(seeks, self.max_seeks)
 
     def _join(self, depth: int, binding: list[int]) -> Iterator[tuple[int, ...]]:
         participants = self._atoms_at_depth[depth]
@@ -212,10 +234,7 @@ class TributaryJoin:
             iterator.open()
         try:
             for value in _leapfrog(iterators):
-                if self.max_seeks is not None:
-                    seeks = self.total_seeks()
-                    if seeks > self.max_seeks:
-                        raise SeekBudgetExceeded(seeks, self.max_seeks)
+                self._check_seek_budget()
                 binding[depth] = value
                 if not self._filters_pass(depth, binding):
                     continue

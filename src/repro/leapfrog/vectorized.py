@@ -1,0 +1,456 @@
+"""Block-at-a-time numpy backend for the Tributary join inner loop.
+
+The scalar :class:`~repro.leapfrog.tributary.TributaryJoin` pays a Python
+binary search per ``seek`` — the last tuple-at-a-time hot loop left after
+PR 2 vectorized the shuffle and sort paths.  This module executes the same
+leapfrog trie walk level by level over *arrays of trie contexts*, so the
+seeks of thousands of sibling contexts collapse into a handful of
+``np.searchsorted`` calls (HoneyComb's batched-intersection idea, arXiv
+2502.06715), and result tuples are emitted in blocks instead of one
+generator yield each.
+
+Counted-metric contract (enforced by ``tests/test_wcoj_differential.py``):
+result rows, their order, ``TributaryStats.seeks`` / ``results`` /
+``sort_cost`` / ``sorted_tuples``, and the per-iterator ``seeks`` counters
+are bit-identical to the scalar backend.  The walk replicates the scalar
+seek accounting exactly:
+
+- ``open``      → 1 seek (the block-end upper bound);
+- ``next``      → 1 seek when a new key exists, 0 on exhaustion;
+- ``seek(v)``   → 1 seek (lower bound) always, +1 (upper bound) on a hit.
+
+The key observation enabling batching: a :class:`SortedRelation`'s rows are
+sorted lexicographically, so the packed prefix keys of
+:func:`~repro.engine.kernels.packed_key_levels` are globally non-decreasing
+and a per-block binary search equals a single global ``searchsorted``.
+
+Execution shape:
+
+- **level 0** with one participant is expanded wholesale from precomputed
+  run boundaries; with several participants it is enumerated with the
+  scalar trie iterators (a single context gains nothing from batching, and
+  the scalar walk counts its own seeks);
+- the level-0 domain is split into **chunks** (at least two whenever it has
+  two or more values), each descended to the deepest level and emitted as
+  one block — this is the HoneyComb-style top-variable domain partitioning,
+  and it keeps partially-consumed generators recording strictly fewer
+  seeks than exhausted ones (the PR 2 ``try/finally`` contract);
+- deeper levels run either the **wholesale** single-participant expansion
+  or the **lockstep leapfrog**: per-context cursor arrays advance in the
+  same round-robin order as the scalar algorithm, grouped by acting
+  participant so each step is at most a few ``searchsorted`` calls per
+  participant.
+
+Emissions are restored to depth-first order with a stable sort on the
+context index before recursing, so the output order (which downstream
+dedup, shuffles, and the golden captures pin) matches the scalar walk.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..engine import kernels
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .tributary import TributaryJoin
+
+#: cap on contexts descended per top-level chunk; bounds peak frontier
+#: memory while keeping searchsorted batches large
+_CHUNK_CAP = 65536
+
+
+class _AtomArrays:
+    """Columnar search structures for one prepared atom.
+
+    Wraps the atom's sorted ``(width, n)`` column array with the packed
+    prefix keys of every depth plus (lazily) the run boundaries per level —
+    everything the batched walk needs, built once per join.
+    """
+
+    __slots__ = ("columns", "packed", "lows", "spans", "length", "_runs")
+
+    def __init__(
+        self,
+        columns: np.ndarray,
+        packed: list[np.ndarray],
+        lows: list[int],
+        spans: list[int],
+    ) -> None:
+        self.columns = columns
+        self.packed = packed
+        self.lows = lows
+        self.spans = spans
+        self.length = columns.shape[1]
+        self._runs: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def runs(self, level: int) -> tuple[np.ndarray, np.ndarray]:
+        """(starts, ends) of the equal-key runs of ``packed[level]``."""
+        cached = self._runs.get(level)
+        if cached is None:
+            packed = self.packed[level]
+            change = np.flatnonzero(packed[1:] != packed[:-1]) + 1
+            starts = np.concatenate(
+                (np.zeros(1, dtype=np.int64), change.astype(np.int64))
+            )
+            ends = np.concatenate(
+                (starts[1:], np.asarray([packed.size], dtype=np.int64))
+            )
+            cached = (starts, ends)
+            self._runs[level] = cached
+        return cached
+
+
+class VectorizedTributaryRun:
+    """One batched execution of a prepared :class:`TributaryJoin`."""
+
+    def __init__(self, join: "TributaryJoin", arrays: dict[int, _AtomArrays]):
+        self.join = join
+        self.arrays = arrays
+        # order[depth] -> participating prepared-atom indices
+        self._participants: list[list[int]] = [
+            [
+                i
+                for i, p in enumerate(join._prepared)
+                if variable in p.key_variables
+            ]
+            for variable in join.order
+        ]
+        # (atom index, depth) -> the atom's own trie level for that depth
+        self._levels: dict[tuple[int, int], int] = {}
+        for depth, variable in enumerate(join.order):
+            for i in self._participants[depth]:
+                self._levels[(i, depth)] = join._prepared[
+                    i
+                ].key_variables.index(variable)
+        # seeks counted by the batched walk, flushed into the scalar
+        # iterators' counters so ``total_seeks()`` stays the one source
+        self._pending: dict[int, int] = {
+            i: 0 for i in range(len(join._prepared))
+        }
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, join: "TributaryJoin") -> Optional["VectorizedTributaryRun"]:
+        """A batched run for this join, or ``None`` when unsupported.
+
+        Requires the ``sorted`` backend under numpy kernels with columnar
+        sorted arrays present, and every atom's key ranges packable into 64
+        bits; anything else falls back to the scalar walk.
+        """
+        if join.backend != "sorted":
+            return None
+        if kernels.get_backend() != "numpy":
+            return None
+        arrays = getattr(join, "_vector_arrays", None)
+        if arrays is None:
+            arrays = {}
+            for i, prepared in enumerate(join._prepared):
+                relation = prepared.iterator.relation
+                columns = getattr(relation, "_columns_array", None)
+                if columns is None:
+                    return None
+                packing = kernels.packed_key_levels(columns)
+                if packing is None and columns.shape[0] > 0:
+                    return None
+                packed, lows, spans = packing if packing else ([], [], [])
+                arrays[i] = _AtomArrays(columns, packed, lows, spans)
+            join._vector_arrays = arrays
+        return cls(join, arrays)
+
+    # ------------------------------------------------------------------
+
+    def blocks(self):
+        """Yield result-tuple blocks in exact scalar emission order."""
+        join = self.join
+        depth_count = len(join.order)
+        root = self._root_frontier()
+        values = root[0]
+        keep = self._filter_mask(0, [values])
+        if keep is not None:
+            values = values[keep]
+            root = (values, {
+                i: (lo[keep], hi[keep]) for i, (lo, hi) in root[1].items()
+            })
+        count = values.size
+        if count == 0:
+            return
+        block_lo: dict[int, np.ndarray] = {}
+        block_hi: dict[int, np.ndarray] = {}
+        for i in range(len(join._prepared)):
+            if i in root[1]:
+                block_lo[i], block_hi[i] = root[1][i]
+            else:
+                block_lo[i] = np.zeros(count, dtype=np.int64)
+                block_hi[i] = np.full(
+                    count, self.arrays[i].length, dtype=np.int64
+                )
+        chunk = max(1, min(count // 2, _CHUNK_CAP))
+        for start in range(0, count, chunk):
+            stop = min(start + chunk, count)
+            bindings = [values[start:stop]]
+            lo = {i: a[start:stop] for i, a in block_lo.items()}
+            hi = {i: a[start:stop] for i, a in block_hi.items()}
+            emptied = False
+            for depth in range(1, depth_count):
+                bindings, lo, hi = self._descend(depth, bindings, lo, hi)
+                if bindings is None:
+                    emptied = True
+                    break
+            if not emptied:
+                yield self._emit(bindings)
+
+    # ------------------------------------------------------------------
+
+    def _root_frontier(
+        self,
+    ) -> tuple[np.ndarray, dict[int, tuple[np.ndarray, np.ndarray]]]:
+        """Enumerate level 0 over the single root context."""
+        join = self.join
+        part = self._participants[0]
+        if len(part) == 1:
+            index = part[0]
+            arrays = self.arrays[index]
+            starts, ends = arrays.runs(self._levels[(index, 0)])
+            # 1 open + one next per further distinct key
+            self._pending[index] += starts.size
+            self._flush_seeks()
+            return arrays.columns[self._levels[(index, 0)]][starts], {
+                index: (starts, ends)
+            }
+        # several participants over one context: the scalar leapfrog is the
+        # batched algorithm at batch size one, minus the numpy overhead —
+        # and it counts its own seeks
+        from .tributary import _leapfrog
+
+        iterators = [join._prepared[i].iterator for i in part]
+        for iterator in iterators:
+            iterator.open()
+        values: list[int] = []
+        captured: dict[int, tuple[list[int], list[int]]] = {
+            i: ([], []) for i in part
+        }
+        try:
+            for value in _leapfrog(iterators):
+                join._check_seek_budget()
+                values.append(value)
+                for i in part:
+                    lo, hi = join._prepared[i].iterator.current_range()
+                    captured[i][0].append(lo)
+                    captured[i][1].append(hi)
+        finally:
+            for iterator in iterators:
+                iterator.up()
+        blocks = {
+            i: (
+                np.asarray(captured[i][0], dtype=np.int64),
+                np.asarray(captured[i][1], dtype=np.int64),
+            )
+            for i in part
+        }
+        return np.asarray(values, dtype=np.int64), blocks
+
+    def _descend(self, depth, bindings, block_lo, block_hi):
+        """Expand every context one level down; ``(None, None, None)`` when
+        the frontier empties."""
+        join = self.join
+        part = self._participants[depth]
+        if len(part) == 1:
+            parent_idx, values, blocks = self._single(part[0], depth, block_lo, block_hi)
+        else:
+            parent_idx, values, blocks = self._lockstep(part, depth, block_lo, block_hi)
+        self._flush_seeks()
+        if values.size == 0:
+            return None, None, None
+        child_bindings = [b[parent_idx] for b in bindings]
+        child_bindings.append(values)
+        child_lo: dict[int, np.ndarray] = {}
+        child_hi: dict[int, np.ndarray] = {}
+        for i in range(len(join._prepared)):
+            if i in blocks:
+                child_lo[i], child_hi[i] = blocks[i]
+            else:
+                child_lo[i] = block_lo[i][parent_idx]
+                child_hi[i] = block_hi[i][parent_idx]
+        keep = self._filter_mask(depth, child_bindings)
+        if keep is not None:
+            child_bindings = [b[keep] for b in child_bindings]
+            child_lo = {i: a[keep] for i, a in child_lo.items()}
+            child_hi = {i: a[keep] for i, a in child_hi.items()}
+            if child_bindings[0].size == 0:
+                return None, None, None
+        return child_bindings, child_lo, child_hi
+
+    def _single(self, index, depth, block_lo, block_hi):
+        """Wholesale expansion of a one-participant level: every context's
+        distinct keys are exactly the packed-key runs inside its block."""
+        arrays = self.arrays[index]
+        level = self._levels[(index, depth)]
+        starts, ends = arrays.runs(level)
+        lo = block_lo[index]
+        hi = block_hi[index]
+        # block bounds are run boundaries of this level (trie blocks nest),
+        # so the runs of context c are starts[first[c] : last[c]]
+        first = np.searchsorted(starts, lo, side="left")
+        last = np.searchsorted(starts, hi, side="left")
+        counts = last - first
+        total = int(counts.sum())
+        # 1 open + (distinct - 1) nexts per context = its run count
+        self._pending[index] += total
+        offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1])
+        )
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, counts)
+            + np.repeat(first, counts)
+        )
+        child_lo = starts[flat]
+        child_hi = ends[flat]
+        parent_idx = np.repeat(np.arange(lo.size, dtype=np.int64), counts)
+        values = arrays.columns[level][child_lo]
+        return parent_idx, values, {index: (child_lo, child_hi)}
+
+    def _lockstep(self, part, depth, block_lo, block_hi):
+        """Round-robin leapfrog over arrays of contexts.
+
+        Per-context state mirrors the scalar algorithm exactly — cursor
+        position/block-end per participant, the stable initial-key slot
+        order, the acting-pointer ``p``, and ``max_key`` — advanced for all
+        live contexts at once, grouped by acting participant so each step
+        costs at most three ``searchsorted`` batches per participant.
+        """
+        count = len(part)
+        context_count = block_lo[part[0]].size
+        levels = [self._levels[(i, depth)] for i in part]
+        arrays = [self.arrays[i] for i in part]
+        pos: list[np.ndarray] = []
+        end: list[np.ndarray] = []
+        keys = np.empty((count, context_count), dtype=np.int64)
+        for j, i in enumerate(part):
+            packed = arrays[j].packed[levels[j]]
+            opened = block_lo[i].astype(np.int64, copy=True)
+            pos.append(opened)
+            end.append(kernels.run_bounds(packed, opened).astype(np.int64))
+            self._pending[i] += context_count  # the open() upper bound
+            keys[j] = arrays[j].columns[levels[j]][opened]
+        his = [block_hi[i] for i in part]
+        slot_order = np.argsort(keys, axis=0, kind="stable")
+        max_key = keys.max(axis=0)
+        pointer = np.zeros(context_count, dtype=np.int64)
+        active = np.ones(context_count, dtype=bool)
+        emit_ctx: list[np.ndarray] = []
+        emit_val: list[np.ndarray] = []
+        emit_blocks: list[list[tuple[np.ndarray, np.ndarray]]] = [
+            [] for _ in range(count)
+        ]
+        while True:
+            acting = np.flatnonzero(active)
+            if acting.size == 0:
+                break
+            current = slot_order[pointer[acting], acting]
+            agreed = keys[current, acting] == max_key[acting]
+            hits = acting[agreed]
+            if hits.size:
+                emit_ctx.append(hits)
+                emit_val.append(max_key[hits])
+                for j in range(count):
+                    emit_blocks[j].append((pos[j][hits], end[j][hits]))
+            for j, i in enumerate(part):
+                mine = current == j
+                if not mine.any():
+                    continue
+                contexts = acting[mine]
+                matched = agreed[mine]
+                packed = arrays[j].packed[levels[j]]
+                column = arrays[j].columns[levels[j]]
+                new_pos = np.empty(contexts.size, dtype=np.int64)
+                if matched.any():
+                    # next(): hop to the block end
+                    new_pos[matched] = end[j][contexts[matched]]
+                missed = ~matched
+                if missed.any():
+                    # seek(max_key): one batched lower bound
+                    seeking = contexts[missed]
+                    level = levels[j]
+                    if level > 0:
+                        prefixes = arrays[j].packed[level - 1][pos[j][seeking]]
+                    else:
+                        prefixes = np.zeros(seeking.size, dtype=np.uint64)
+                    new_pos[missed] = kernels.batched_seek_lower_bounds(
+                        packed,
+                        prefixes,
+                        max_key[seeking],
+                        arrays[j].lows[level],
+                        arrays[j].spans[level],
+                    )
+                    self._pending[i] += int(seeking.size)
+                exhausted = new_pos >= his[j][contexts]
+                active[contexts[exhausted]] = False
+                alive = contexts[~exhausted]
+                if alive.size:
+                    landed = new_pos[~exhausted]
+                    pos[j][alive] = landed
+                    end[j][alive] = kernels.run_bounds(packed, landed)
+                    self._pending[i] += int(alive.size)  # block-end bound
+                    fresh = column[landed]
+                    keys[j, alive] = fresh
+                    max_key[alive] = fresh
+                    pointer[alive] = (pointer[alive] + 1) % count
+        if not emit_ctx:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, {i: (empty, empty) for i in part}
+        all_ctx = np.concatenate(emit_ctx)
+        all_val = np.concatenate(emit_val)
+        # chronological emissions per context are ascending; a stable sort
+        # on the context index restores global depth-first order
+        order = np.argsort(all_ctx, kind="stable")
+        blocks = {}
+        for j, i in enumerate(part):
+            lo = np.concatenate([c[0] for c in emit_blocks[j]])[order]
+            hi = np.concatenate([c[1] for c in emit_blocks[j]])[order]
+            blocks[i] = (lo, hi)
+        return all_ctx[order], all_val[order], blocks
+
+    # ------------------------------------------------------------------
+
+    def _filter_mask(self, depth, bindings) -> Optional[np.ndarray]:
+        """Comparison-predicate mask at this depth (``None`` = keep all)."""
+        comparisons = self.join._comparisons_at_depth[depth]
+        if not comparisons:
+            return None
+        order = self.join.order
+        columns = [b.tolist() for b in bindings]
+        keep = np.ones(len(columns[0]), dtype=bool)
+        for row in range(len(columns[0])):
+            bound = {
+                order[i]: columns[i][row] for i in range(depth + 1)
+            }
+            if not all(c.evaluate(bound) for c in comparisons):
+                keep[row] = False
+        return keep
+
+    def _emit(self, bindings) -> list[tuple[int, ...]]:
+        """Materialize one chunk's head tuples in scalar emission order."""
+        join = self.join
+        total = bindings[0].size
+        join.stats.results += total
+        head = join._head_positions
+        if not head:
+            return [()] * total
+        columns = [bindings[p].tolist() for p in head]
+        if len(columns) == 1:
+            return [(value,) for value in columns[0]]
+        return list(zip(*columns))
+
+    def _flush_seeks(self) -> None:
+        """Commit batched seek counts to the iterators, then check budget."""
+        prepared = self.join._prepared
+        for i, pending in self._pending.items():
+            if pending:
+                prepared[i].iterator.seeks += pending
+                self._pending[i] = 0
+        self.join._check_seek_budget()

@@ -66,7 +66,9 @@ def run_query(
     (:mod:`~repro.planner.optimizer`) pick the cheapest of the six grid
     strategies from catalog statistics; the result then carries the
     per-strategy cost table as ``result.cost_report``.
-    ``runtime`` is ``"serial"`` (default), ``"parallel[:N]"``, or a
+    ``runtime`` is ``"serial"`` (default), ``"parallel[:N]"`` (threads),
+    ``"parallel:N:proc"`` (forked worker processes — the mode with real
+    multicore speedup), or a
     :class:`~repro.engine.runtime.WorkerRuntime` instance.  ``kernels``
     pins the kernel backend (``"python"``/``"numpy"``) for this call;
     ``None`` keeps the process default (``REPRO_KERNELS``).

@@ -5,14 +5,19 @@ import pytest
 from repro.engine.memory import MemoryBudget, OutOfMemoryError
 from repro.engine.runtime import (
     ParallelRuntime,
+    ProcessRuntime,
     SerialRuntime,
     WorkerRuntime,
     resolve_runtime,
 )
 from repro.engine.stats import ExecutionStats
 
-RUNTIMES = [SerialRuntime(), ParallelRuntime(max_workers=3)]
-RUNTIME_IDS = ["serial", "parallel"]
+RUNTIMES = [
+    SerialRuntime(),
+    ParallelRuntime(max_workers=3),
+    ProcessRuntime(processes=2),
+]
+RUNTIME_IDS = ["serial", "parallel", "process"]
 
 
 class TestResolveRuntime:
@@ -36,7 +41,21 @@ class TestResolveRuntime:
         runtime = ParallelRuntime(max_workers=2)
         assert resolve_runtime(runtime) is runtime
 
-    @pytest.mark.parametrize("bad", ["threads", "parallel:x", "parallel:"])
+    def test_process_spelling(self):
+        runtime = resolve_runtime("parallel:proc")
+        assert isinstance(runtime, ProcessRuntime)
+        assert runtime.processes is None
+
+    def test_process_with_pool_size(self):
+        runtime = resolve_runtime("parallel:4:proc")
+        assert isinstance(runtime, ProcessRuntime)
+        assert runtime.processes == 4
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["threads", "parallel:x", "parallel:", "parallel:proc:4",
+         "parallel:x:proc", "parallel::proc", "proc"],
+    )
     def test_bad_specs_rejected(self, bad):
         with pytest.raises(ValueError):
             resolve_runtime(bad)
@@ -44,6 +63,10 @@ class TestResolveRuntime:
     def test_zero_pool_rejected(self):
         with pytest.raises(ValueError):
             ParallelRuntime(max_workers=0)
+
+    def test_zero_process_pool_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessRuntime(processes=0)
 
 
 @pytest.mark.parametrize("runtime", RUNTIMES, ids=RUNTIME_IDS)
@@ -94,18 +117,21 @@ class TestMapWorkers:
         ) == []
 
     def test_ledger_isolated_until_commit(self, runtime):
-        """Operators inside a task never touch the shared budget directly."""
+        """Operators inside a task never touch the shared budget directly.
+
+        The observation is returned from the task (not written to a shared
+        dict) so the same assertion holds under forked workers, whose
+        side effects never reach the parent."""
         stats = ExecutionStats(workers=2)
         memory = MemoryBudget()
-        observed = {}
 
         def task(worker, ledger):
             ledger.memory.allocate(worker, 10, "join")
             # the shared budget must not see the allocation mid-task
-            observed[worker] = memory.resident(worker)
+            return memory.resident(worker)
 
-        runtime.map_workers(range(2), task, stats, memory)
-        assert observed == {0: 0, 1: 0}
+        observed = runtime.map_workers(range(2), task, stats, memory)
+        assert observed == [0, 0]
         assert memory.resident(0) == 10 and memory.resident(1) == 10
 
     def test_oom_raised_for_lowest_failing_worker(self, runtime):
@@ -157,3 +183,59 @@ class TestSerialParallelEquivalence:
                 range(1), lambda worker, ledger: worker,
                 ExecutionStats(), MemoryBudget(),
             )
+
+
+class TestProcessRuntime:
+    """Process-specific behavior beyond the shared map_workers battery.
+
+    The shared battery above already pins that forked execution merges
+    ledgers, values, and OOM failures identically to serial — including
+    :class:`OutOfMemoryError` crossing a real worker pipe.  These tests
+    cover the process-only surface."""
+
+    def test_merged_state_matches_serial(self):
+        def task(worker, ledger):
+            ledger.stats.charge(worker, 2.5 * worker, "a")
+            ledger.stats.charge(worker, 1.0, "b")
+            ledger.memory.allocate(worker, worker + 1, "a")
+            ledger.stats.record_memory(worker, ledger.memory.resident(worker))
+            return worker * worker
+
+        results = {}
+        for runtime in (SerialRuntime(), ProcessRuntime(processes=3)):
+            stats = ExecutionStats(workers=8)
+            memory = MemoryBudget()
+            values = runtime.map_workers(range(8), task, stats, memory)
+            results[runtime.name] = (
+                values,
+                stats.phases(),
+                stats.worker_loads(),
+                stats.peak_memory,
+                [memory.resident(w) for w in range(8)],
+            )
+        assert results["serial"] == results["process"]
+
+    def test_fault_safe_degrades_to_threads(self):
+        """Fault sessions hold driver-side mutable state a forked worker
+        cannot observe; the scheduler swaps in the thread runtime."""
+        runtime = ProcessRuntime(processes=4)
+        safe = runtime.fault_safe()
+        assert isinstance(safe, ParallelRuntime)
+        assert safe.max_workers == 4
+
+    def test_fault_safe_is_identity_elsewhere(self):
+        for runtime in (SerialRuntime(), ParallelRuntime(max_workers=2)):
+            assert runtime.fault_safe() is runtime
+
+    def test_oom_error_survives_pickling(self):
+        import pickle
+
+        error = OutOfMemoryError(3, "join", 150, 100)
+        clone = pickle.loads(pickle.dumps(error))
+        assert (clone.worker, clone.phase, clone.resident, clone.budget) == (
+            3, "join", 150, 100,
+        )
+        assert str(clone) == str(error)
+
+    def test_repr_names_pool_size(self):
+        assert "4" in repr(ProcessRuntime(processes=4))

@@ -1,0 +1,82 @@
+"""Unit tests for the shared-memory row transport of the process runtime."""
+
+import pytest
+
+from repro.engine.memory import MemoryBudget
+from repro.engine.runtime import ProcessRuntime
+from repro.engine.shm import SHARED_MIN_ROWS, share_rows
+from repro.engine.stats import ExecutionStats
+
+
+def _rows(count, width=3):
+    return [tuple(i * width + j for j in range(width)) for i in range(count)]
+
+
+class TestShareRows:
+    def test_round_trip_preserves_rows_and_order(self):
+        rows = _rows(SHARED_MIN_ROWS)
+        handle = share_rows(rows)
+        assert handle is not None
+        assert (handle.count, handle.width) == (len(rows), 3)
+        assert handle.load() == rows
+
+    def test_segment_released_after_load(self):
+        from multiprocessing import shared_memory
+
+        handle = share_rows(_rows(SHARED_MIN_ROWS))
+        handle.load()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=handle.name)
+
+    def test_small_blocks_decline(self):
+        assert share_rows(_rows(SHARED_MIN_ROWS - 1)) is None
+        assert share_rows([]) is None
+
+    def test_ragged_rows_decline(self):
+        rows = _rows(SHARED_MIN_ROWS)
+        rows[100] = (1,)  # width mismatch: keep the pickle path
+        assert share_rows(rows) is None
+
+    def test_non_integer_rows_decline(self):
+        rows = _rows(SHARED_MIN_ROWS)
+        rows[0] = ("a", "b", "c")
+        assert share_rows(rows) is None
+
+    def test_zero_width_rows_round_trip(self):
+        rows = [()] * SHARED_MIN_ROWS
+        handle = share_rows(rows)
+        assert handle is not None
+        assert handle.load() == rows
+
+
+class TestTransportThroughRuntime:
+    """Large row blocks returned by forked workers arrive intact."""
+
+    def test_large_row_block_returns_through_shared_memory(self):
+        expected = {w: _rows(SHARED_MIN_ROWS + w) for w in range(3)}
+
+        def task(worker, ledger):
+            return _rows(SHARED_MIN_ROWS + worker)
+
+        runtime = ProcessRuntime(processes=2)
+        values = runtime.map_workers(
+            range(3), task, ExecutionStats(workers=3), MemoryBudget()
+        )
+        assert values == [expected[w] for w in range(3)]
+
+    def test_no_segments_leak(self):
+        import os
+
+        def task(worker, ledger):
+            return _rows(SHARED_MIN_ROWS)
+
+        before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+        ProcessRuntime(processes=2).map_workers(
+            range(2), task, ExecutionStats(workers=2), MemoryBudget()
+        )
+        if os.path.isdir("/dev/shm"):
+            leaked = {
+                n for n in set(os.listdir("/dev/shm")) - before
+                if n.startswith("psm_")
+            }
+            assert leaked == set()

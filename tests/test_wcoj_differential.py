@@ -1,0 +1,239 @@
+"""Differential suite: vectorized WCOJ x process runtime, bit for bit.
+
+The vectorized leapfrog backend (block-at-a-time trie walks under numpy
+kernels) and the forked-process runtime are both pure wall-clock changes:
+for every strategy, kernel backend, and worker runtime, result rows come
+back in the same order and every counted metric — rows, trie seeks, tuples
+shuffled with per-shuffle skews, CPU charges, wall clock, peak memory — is
+exactly equal, no tolerance.  This file pins that invariant on the full
+strategy matrix, plus the seek-accounting edge cases the block backend is
+most likely to get wrong: partially-consumed generators and seek-budget
+aborts.
+
+Honors ``REPRO_DIFF_RUNTIME`` (default ``serial``) so CI can re-run the
+backend sweep under ``parallel:4:proc`` without duplicating test code.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.kernels import use_backend
+from repro.leapfrog.tributary import SeekBudgetExceeded, TributaryJoin
+from repro.planner.api import run_query
+from repro.planner.plans import ALL_STRATEGIES
+from repro.query.parser import parse_query
+from repro.storage.generators import twitter_database
+from repro.storage.relation import Relation
+
+RUNTIME = os.environ.get("REPRO_DIFF_RUNTIME", "serial")
+
+#: the runtime axis of the in-repo matrix; CI re-runs the whole module with
+#: ``REPRO_DIFF_RUNTIME=parallel:4:proc`` for the full-width process sweep
+RUNTIME_MATRIX = ("parallel:3", "parallel:2:proc")
+
+TRIANGLE = parse_query(
+    "T(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), T:Twitter(z,x)."
+)
+PROJECTION = parse_query("P(x) :- R:Twitter(x,y), S:Twitter(y,x).")
+COMPARISON = parse_query(
+    "C(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z), x < z."
+)
+TWO_PATH = parse_query("P(x,y,z) :- R:Twitter(x,y), S:Twitter(y,z).")
+
+QUERIES = {
+    "triangle": TRIANGLE,
+    "projection": PROJECTION,
+    "comparison": COMPARISON,
+}
+
+
+def assert_identical(reference, candidate):
+    """Byte-identical rows and exactly equal counted metrics."""
+    assert reference.rows == candidate.rows  # same rows, same order
+    a, b = reference.stats, candidate.stats
+    assert a.failed == b.failed
+    assert a.failure == b.failure
+    assert a.shuffles == b.shuffles  # tuples sent + both skews, per shuffle
+    assert a.tuples_shuffled == b.tuples_shuffled
+    assert a.total_cpu == b.total_cpu  # includes seeks and sort_cost charges
+    assert a.wall_clock == b.wall_clock
+    assert a.phases() == b.phases()
+    assert a.worker_loads() == b.worker_loads()
+    assert a.peak_memory == b.peak_memory
+    assert a.result_count == b.result_count
+    assert a.cpu_skew == b.cpu_skew
+
+
+# ----------------------------------------------------------------------
+# Backend sweep (under the runtime CI selects via REPRO_DIFF_RUNTIME)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+@pytest.mark.parametrize("seed", [0, 42])
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_all_strategies_identical_across_backends(strategy, seed, query_name):
+    db = twitter_database(nodes=120, edges=500, seed=seed)
+    query = QUERIES[query_name]
+    python = run_query(
+        query, db, strategy=strategy, workers=6, runtime=RUNTIME,
+        kernels="python",
+    )
+    numpy = run_query(
+        query, db, strategy=strategy, workers=6, runtime=RUNTIME,
+        kernels="numpy",
+    )
+    assert not python.failed
+    assert_identical(python, numpy)
+
+
+def test_semijoin_identical_across_backends():
+    db = twitter_database(nodes=120, edges=500, seed=0)
+    python = run_query(
+        TWO_PATH, db, strategy="SJ_HJ", workers=6, runtime=RUNTIME,
+        kernels="python",
+    )
+    numpy = run_query(
+        TWO_PATH, db, strategy="SJ_HJ", workers=6, runtime=RUNTIME,
+        kernels="numpy",
+    )
+    assert not python.failed
+    assert_identical(python, numpy)
+
+
+# ----------------------------------------------------------------------
+# Runtime sweep (threads and processes against the serial reference)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("runtime", RUNTIME_MATRIX)
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES, ids=lambda s: s.name)
+def test_all_strategies_identical_across_runtimes(strategy, runtime):
+    db = twitter_database(nodes=120, edges=500, seed=7)
+    serial = run_query(
+        TRIANGLE, db, strategy=strategy, workers=6, runtime="serial",
+        kernels="numpy",
+    )
+    candidate = run_query(
+        TRIANGLE, db, strategy=strategy, workers=6, runtime=runtime,
+        kernels="numpy",
+    )
+    assert not serial.failed
+    assert_identical(serial, candidate)
+
+
+@pytest.mark.parametrize("runtime", RUNTIME_MATRIX)
+def test_semijoin_identical_across_runtimes(runtime):
+    db = twitter_database(nodes=120, edges=500, seed=7)
+    serial = run_query(
+        TWO_PATH, db, strategy="SJ_HJ", workers=6, runtime="serial",
+        kernels="numpy",
+    )
+    candidate = run_query(
+        TWO_PATH, db, strategy="SJ_HJ", workers=6, runtime=runtime,
+        kernels="numpy",
+    )
+    assert not serial.failed
+    assert_identical(serial, candidate)
+
+
+def test_oom_failure_identical_under_process_runtime():
+    """A budget violation inside a forked worker must fail identically to
+    serial: the :class:`OutOfMemoryError` crosses a real process pipe (its
+    custom pickling), and the commit-up-to-lowest-failure stats — including
+    the pinned peak-memory figures — must come back bit-identical."""
+    db = twitter_database(nodes=120, edges=500, seed=1)
+    serial = run_query(
+        TRIANGLE, db, strategy="RS_TJ", workers=4, memory_tuples=400,
+        runtime="serial", kernels="numpy",
+    )
+    process = run_query(
+        TRIANGLE, db, strategy="RS_TJ", workers=4, memory_tuples=400,
+        runtime="parallel:2:proc", kernels="numpy",
+    )
+    assert serial.failed and process.failed
+    assert serial.stats.failure == process.stats.failure
+    assert_identical(serial, process)
+
+
+# ----------------------------------------------------------------------
+# Seek accounting: the block backend must count exactly like the scalar
+# walk even when the consumer stops early or the budget trips mid-walk
+# ----------------------------------------------------------------------
+
+
+def _triangle_join(max_seeks=None):
+    query = parse_query("Q(x,y,z) :- R(x,y), S(y,z), T(z,x).")
+    # +5 steps mod 15 close triangles (5+5+5 = 15); +1 edges add seek noise
+    rows = [(i, (i + 1) % 15) for i in range(15)] + [
+        (i, (i + 5) % 15) for i in range(15)
+    ]
+    relation = Relation("R", ("a", "b"), rows)
+    return TributaryJoin(
+        query,
+        {"R": relation, "S": relation.renamed("S"), "T": relation.renamed("T")},
+        max_seeks=max_seeks,
+    )
+
+
+def _per_backend(fn):
+    outcomes = {}
+    for backend in ("python", "numpy"):
+        with use_backend(backend):
+            outcomes[backend] = fn()
+    assert outcomes["python"] == outcomes["numpy"]
+    return outcomes["python"]
+
+
+def test_full_iteration_rows_and_seeks_identical():
+    def run():
+        join = _triangle_join()
+        rows = list(join.iterate())
+        per_iterator = tuple(p.iterator.seeks for p in join._prepared)
+        return rows, join.stats.seeks, per_iterator
+
+    rows, seeks, _ = _per_backend(run)
+    assert rows and seeks > 0
+
+
+def test_partially_consumed_generator_records_seeks():
+    """The PR 2 stats case: stopping mid-iteration still records the seeks
+    performed so far, strictly between zero and the exhausted-run count, on
+    BOTH backends.  The rows consumed and the exhausted-run seek count are
+    bit-identical across backends; the mid-stream count itself is allowed
+    to differ (the block backend legitimately pays for a whole chunk of
+    the trie walk before its first yield — that batching IS the speedup),
+    but chunked emission keeps it strictly below the full-run total."""
+    full_seeks = {}
+    partial = {}
+    for backend in ("python", "numpy"):
+        with use_backend(backend):
+            join = _triangle_join()
+            list(join.iterate())
+            full_seeks[backend] = join.stats.seeks
+
+            join = _triangle_join()
+            iterator = join.iterate()
+            rows = [next(iterator) for _ in range(4)]
+            iterator.close()
+            partial[backend] = (rows, join.stats.seeks)
+            assert 0 < join.stats.seeks < full_seeks[backend]
+
+    assert full_seeks["python"] == full_seeks["numpy"]
+    assert partial["python"][0] == partial["numpy"][0]  # same row prefix
+
+
+def test_seek_budget_trips_on_both_backends():
+    """Both backends abort past ``max_seeks`` and record the count they
+    aborted at.  The exact overshoot may differ by a few seeks (the block
+    backend checks the budget at batch-flush granularity); what is pinned
+    is that both trip, past the budget, with stats matching the error."""
+    for backend in ("python", "numpy"):
+        with use_backend(backend):
+            join = _triangle_join(max_seeks=40)
+            with pytest.raises(SeekBudgetExceeded) as excinfo:
+                list(join.iterate())
+            assert excinfo.value.budget == 40
+            assert excinfo.value.seeks > 40
+            assert join.stats.seeks == excinfo.value.seeks
