@@ -133,7 +133,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"recovery:        {stats.faults_injected} fault(s) injected, "
             f"{stats.retries} round retr{'y' if stats.retries == 1 else 'ies'}, "
-            f"{stats.phase_cpu('recovery'):,.0f} work units charged"
+            f"{stats.recovery_cpu:,.0f} work units charged"
         )
     if result.failure_report is not None:
         print(f"degraded:        {result.failure_report.describe()}")

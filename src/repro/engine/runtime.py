@@ -53,6 +53,10 @@ from .stats import ExecutionStats, WorkerStats
 #: a worker task: called with (worker id, its ledger), returns any value
 WorkerTask = Callable[[int, "WorkerLedger"], Any]
 
+#: a structured local task: (worker id, ledger, shipped slot inputs) -> value;
+#: must be picklable (a module-level function or functools.partial of one)
+LocalRunner = Callable[[int, "WorkerLedger", dict], Any]
+
 
 @dataclass
 class WorkerLedger:
@@ -99,6 +103,43 @@ class WorkerRuntime:
     ) -> None:
         stats.merge_worker(ledger.stats)
         memory.commit(ledger.memory)
+
+    def map_local(
+        self,
+        worker_ids: Iterable[int],
+        runner: LocalRunner,
+        payloads: dict,
+        stats: ExecutionStats,
+        memory: MemoryBudget,
+    ) -> list:
+        """Structured variant of :meth:`map_workers` for local-join rounds.
+
+        ``runner`` is a *picklable* callable ``(worker, ledger, inputs) ->
+        value`` and ``payloads[worker]`` holds the slot inputs that worker
+        reads.  In-process runtimes simply wrap the pair into a worker
+        task; :class:`ProcessRuntime` overrides this to ship the payloads
+        to a persistent forked pool (see :meth:`open_session`) instead of
+        re-forking one pool per scheduler phase.  Ordering and
+        commit-before-lowest-failure semantics match :meth:`map_workers`.
+        """
+
+        def task(worker: int, ledger: "WorkerLedger"):
+            return runner(worker, ledger, payloads[worker])
+
+        return self.map_workers(worker_ids, task, stats, memory)
+
+    def open_session(self) -> None:
+        """Start a per-plan worker session (no-op for in-process runtimes).
+
+        The scheduler brackets each plan execution with
+        ``open_session()`` / ``close_session()``; :class:`ProcessRuntime`
+        uses the bracket to keep one forked pool alive across every phase
+        of the plan, shipping per-phase slot inputs and ledger diffs over
+        pipes rather than paying a fork per Round.
+        """
+
+    def close_session(self) -> None:
+        """End the per-plan worker session (no-op for in-process runtimes)."""
 
     def fault_safe(self) -> "WorkerRuntime":
         """The runtime to substitute while a fault session is active.
@@ -264,6 +305,62 @@ def _fork_invoke(worker: int):
     return worker, _encode_value(value), ledger, None
 
 
+def _session_child_main(connection) -> None:
+    """Serve structured local tasks inside one persistent forked child.
+
+    Each message is ``(runner, [(worker, ledger, encoded inputs), ...])``;
+    every task's mutated ledger ships back even when it raised, so the
+    parent honors the commit-before-lowest-failure contract exactly like
+    the fork-per-phase path.  ``None`` (or a closed pipe) ends the loop.
+    """
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        runner, batch = message
+        results = []
+        for worker, ledger, payload in batch:
+            try:
+                value = runner(worker, ledger, _decode_value(payload))
+            except Exception as error:
+                results.append((worker, None, ledger, error))
+            else:
+                results.append((worker, _encode_value(value), ledger, None))
+        try:
+            connection.send(results)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            break
+    connection.close()
+
+
+class _SessionWorker:
+    """One persistent forked child of a :class:`ProcessRuntime` session."""
+
+    def __init__(self, context) -> None:
+        parent, child = context.Pipe()
+        self.connection = parent
+        self.process = context.Process(
+            target=_session_child_main, args=(child,), daemon=True
+        )
+        self.process.start()
+        child.close()
+
+    def stop(self) -> None:
+        """Ask the child to exit, then reap it."""
+        try:
+            self.connection.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.connection.close()
+        self.process.join(timeout=10)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout=10)
+
+
 class ProcessRuntime(WorkerRuntime):
     """Run worker tasks on a forked :class:`multiprocessing.Pool`.
 
@@ -277,6 +374,13 @@ class ProcessRuntime(WorkerRuntime):
     reach children by inheritance); on platforms without it, falls back to
     the thread pool with identical semantics.  Fault-injected executions
     degrade to threads too — see :meth:`WorkerRuntime.fault_safe`.
+
+    Within one plan execution the scheduler opens a *session*
+    (:meth:`open_session`): a pool of pipe-connected children forked once
+    and reused by every structured local round (:meth:`map_local`), with
+    slot inputs and ledgers shipped per phase — short hybrid stages no
+    longer pay a fork per Round.  Unstructured :meth:`map_workers` calls
+    (closures over live driver state) still fork per call.
     """
 
     name = "process"
@@ -285,6 +389,72 @@ class ProcessRuntime(WorkerRuntime):
         if processes is not None and processes < 1:
             raise ValueError("ProcessRuntime needs at least one pool process")
         self.processes = processes
+        self._session: Optional[list[_SessionWorker]] = None
+
+    def open_session(self) -> None:
+        """Fork the persistent per-plan worker pool (fork platforms only)."""
+        if self._session is not None:
+            return
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return
+        context = multiprocessing.get_context("fork")
+        size = self.processes or (os.cpu_count() or 1)
+        self._session = [_SessionWorker(context) for _ in range(size)]
+
+    def close_session(self) -> None:
+        """Shut down the persistent pool, if one is open."""
+        if self._session is None:
+            return
+        children, self._session = self._session, None
+        for child in children:
+            child.stop()
+
+    def map_local(
+        self,
+        worker_ids: Iterable[int],
+        runner: LocalRunner,
+        payloads: dict,
+        stats: ExecutionStats,
+        memory: MemoryBudget,
+    ) -> list:
+        """Dispatch structured local tasks over the persistent session pool.
+
+        Workers are dealt round-robin over the session children; each child
+        runs its batch sequentially and ships back ``(worker, encoded
+        value, ledger, error)`` per task.  Ledgers commit in worker-id
+        order with the same lowest-failure semantics as every other path.
+        Without an open session (or off-fork platforms) this falls back to
+        the fork-per-call behavior of the base implementation.
+        """
+        ids = list(worker_ids)
+        if not ids:
+            return []
+        if self._session is None:
+            return super().map_local(ids, runner, payloads, stats, memory)
+        ledgers = {worker: _open_ledger(worker, memory) for worker in ids}
+        children = self._session
+        batches: list[list] = [[] for _ in children]
+        for index, worker in enumerate(ids):
+            batches[index % len(children)].append(
+                (worker, ledgers[worker], _encode_value(payloads[worker]))
+            )
+        active = []
+        for child, batch in zip(children, batches):
+            if batch:
+                child.connection.send((runner, batch))
+                active.append(child)
+        shipped: dict[int, tuple] = {}
+        for child in active:
+            for worker, value, ledger, error in child.connection.recv():
+                shipped[worker] = (value, ledger, error)
+        values = []
+        for worker in ids:
+            value, ledger, error = shipped[worker]
+            self._commit(stats, memory, ledger)
+            if error is not None:
+                raise error
+            values.append(_decode_value(value))
+        return values
 
     def fault_safe(self) -> WorkerRuntime:
         """Thread-pool stand-in while fault injection is active."""

@@ -41,6 +41,7 @@ never consulted and execution is bit-identical to the fault-free captures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Optional, Union
 
 from .faults import FaultAbort, FaultSession, FailureReport, InjectedFault
@@ -54,7 +55,7 @@ from .hash_join import apply_comparisons, symmetric_hash_join
 from .local import local_tributary_join
 from .runtime import WorkerLedger, WorkerRuntime
 from .shuffle import broadcast, hypercube_shuffle, regular_shuffle
-from .stats import RECOVERY_PHASE, ExecutionStats
+from .stats import ExecutionStats, recovery_phase
 
 __all__ = ["OperatorTrace", "ScheduledRun", "run_plan"]
 
@@ -191,6 +192,31 @@ def _run_local_op(
         write(op.out, Frame(target.variables, kept))
     else:  # pragma: no cover - lowering only emits the ops above
         raise TypeError(f"unknown local operator {op!r}")
+
+
+def _run_local_task(
+    worker: int, ledger: WorkerLedger, inputs: dict, ops=()
+) -> dict:
+    """Run one round's fused local operators over shipped slot inputs.
+
+    The structured (picklable) counterpart of the scheduler's in-process
+    worker-task closure: ``inputs`` maps slot names to this worker's input
+    payloads, so a persistent process-pool child needs no live driver
+    state.  Returns the slots the operators produced.
+    """
+    produced: dict[str, SlotValue] = {}
+
+    def read(name: str) -> SlotValue:
+        """Resolve a slot: this task's output, else a shipped input."""
+        return produced[name] if name in produced else inputs[name]
+
+    def write(name: str, value: SlotValue) -> None:
+        """Bind an operator output within this task."""
+        produced[name] = value
+
+    for op in ops:
+        _run_local_op(op, worker, ledger, read, write)
+    return produced
 
 
 def _scanned_sizes(slots: dict, aliases) -> dict[str, int]:
@@ -345,11 +371,33 @@ def _run_round(
             record(OperatorTrace(round_index, op_index, op))
         elif isinstance(op, ConfigureHyperCube):
             sizes = _scanned_sizes(slots, op.aliases)
+            # hybrid plans configure per stage: the boundary round carries
+            # its own subquery (intermediate + residual atoms)
             state.hc_config = op.config or optimize_config(
-                plan.query, sizes, workers
+                op.query or plan.query, sizes, workers
             )
             state.mapping = HyperCubeMapping(state.hc_config, seed=op.seed)
             record(OperatorTrace(round_index, op_index, op))
+        elif isinstance(op, ScanIntermediate):
+            source = slots[op.input]
+            projected: list[Frame] = []
+            for worker, frame in enumerate(source):
+                stats.charge(worker, len(frame), op.phase)
+                out_frame = frame.project(op.variables, dedup=op.dedup)
+                dropped = len(frame) - len(out_frame)
+                if dropped:
+                    # de-duplicated rows leave residency; the projection
+                    # itself is width-free (the memory model counts tuples)
+                    cluster.memory.release(worker, dropped)
+                projected.append(out_frame)
+            slots[op.out] = projected
+            record(
+                OperatorTrace(
+                    round_index, op_index, op,
+                    tuples_in=sum(len(f) for f in source),
+                    tuples_out=slot_tuples(op.out),
+                )
+            )
         elif isinstance(op, Exchange):
             frames = slots[op.input]
             if op.skip_if_anchor and op.input == state.anchor:
@@ -435,28 +483,50 @@ def _run_round(
     else:
         worker_ids = range(workers)
 
-    def local_task(worker: int, ledger: WorkerLedger, ops=local):
-        """Run the round's fused local operators as one worker task."""
-        if faults is not None:
+    if faults is None:
+        # Structured path: ship each worker's input slot values explicitly so
+        # session-based runtimes (persistent process pools) can transfer only
+        # the per-phase payload instead of re-pickling a fresh closure.
+        needed = list(
+            dict.fromkeys(
+                name
+                for op in local
+                for name in op.input_slots()
+                if name in slots
+            )
+        )
+        payloads = {
+            worker: {name: slots[name][worker] for name in needed}
+            for worker in worker_ids
+        }
+        runner = partial(_run_local_task, ops=local)
+        outcomes = runtime.map_local(
+            worker_ids, runner, payloads, stats, cluster.memory
+        )
+    else:
+
+        def local_task(worker: int, ledger: WorkerLedger, ops=local):
+            """Run the round's fused local operators as one worker task."""
             faults.at_worker(round_index, label, attempt, worker)
             ledger = faults.wrap_ledger(round_index, label, ledger)
-        produced: dict[str, SlotValue] = {}
+            produced: dict[str, SlotValue] = {}
 
-        def read(name: str) -> SlotValue:
-            """Resolve a slot: this task's output, else the shared binding."""
-            return produced[name] if name in produced else slots[name][worker]
+            def read(name: str) -> SlotValue:
+                """Resolve a slot: task output, else the shared binding."""
+                return produced[name] if name in produced else slots[name][worker]
 
-        def write(name: str, value: SlotValue) -> None:
-            """Bind an operator output within this task."""
-            produced[name] = value
+            def write(name: str, value: SlotValue) -> None:
+                """Bind an operator output within this task."""
+                produced[name] = value
 
-        for op in ops:
-            _run_local_op(op, worker, ledger, read, write)
-            if faults is not None:
+            for op in ops:
+                _run_local_op(op, worker, ledger, read, write)
                 faults.after_local_op(round_index, label, attempt, worker, op)
-        return produced
+            return produced
 
-    outcomes = runtime.map_workers(worker_ids, local_task, stats, cluster.memory)
+        outcomes = runtime.map_workers(
+            worker_ids, local_task, stats, cluster.memory
+        )
     local_positions = [
         i for i, candidate in enumerate(round_.ops) if not candidate.GLOBAL
     ]
@@ -517,13 +587,14 @@ def _run_round_recovering(
         except InjectedFault as fault:
             stats.faults_injected += 1
             if policy.mode == "retry" and attempt < policy.max_retries:
+                phase = recovery_phase(round_.stage)
                 wasted = checkpoint.rollback(stats, cluster, state, trace)
                 for worker in sorted(wasted):
                     if wasted[worker]:
-                        stats.charge(worker, wasted[worker], RECOVERY_PHASE)
+                        stats.charge(worker, wasted[worker], phase)
                 backoff = policy.backoff_units * (2 ** attempt)
                 if backoff and fault.worker is not None:
-                    stats.charge(fault.worker, backoff, RECOVERY_PHASE)
+                    stats.charge(fault.worker, backoff, phase)
                 stats.retries += 1
                 attempt += 1
                 continue
@@ -572,17 +643,23 @@ def run_plan(
     if faults is not None:
         runtime = runtime.fault_safe()
     state = _ExecState()
-    for round_index, round_ in enumerate(plan.rounds):
-        if faults is not None and faults.needs_recovery(round_index, round_.label):
-            _run_round_recovering(
-                plan, round_, round_index, cluster, stats, runtime,
-                trace, state, faults,
-            )
-        else:
-            _run_round(
-                plan, round_, round_index, cluster, stats, runtime,
-                trace, state, faults,
-            )
+    runtime.open_session()
+    try:
+        for round_index, round_ in enumerate(plan.rounds):
+            if faults is not None and faults.needs_recovery(
+                round_index, round_.label
+            ):
+                _run_round_recovering(
+                    plan, round_, round_index, cluster, stats, runtime,
+                    trace, state, faults,
+                )
+            else:
+                _run_round(
+                    plan, round_, round_index, cluster, stats, runtime,
+                    trace, state, faults,
+                )
+    finally:
+        runtime.close_session()
 
     # finalize: union worker outputs; project and de-duplicate
     slots = state.slots
@@ -627,6 +704,7 @@ from ..planner.physical import (  # noqa: E402
     PhysicalOp,
     PhysicalPlan,
     Scan,
+    ScanIntermediate,
     SemiJoinFilter,
     SemiJoinProject,
 )

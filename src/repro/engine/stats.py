@@ -43,6 +43,16 @@ from typing import Iterable, Optional, Union
 RECOVERY_PHASE = "recovery"
 
 
+def recovery_phase(stage: int = 0) -> str:
+    """The recovery stat phase for a Round of the given plan stage.
+
+    Stage-0 (pure single-strategy) rounds keep the historical ``recovery``
+    phase name bit-for-bit; hybrid multi-stage plans qualify it per stage
+    (``recovery:stageN``) so per-stage CPU conservation holds under faults.
+    """
+    return RECOVERY_PHASE if stage == 0 else f"{RECOVERY_PHASE}:stage{stage}"
+
+
 def skew_factor(loads: Iterable[float]) -> float:
     """max / average over non-negative loads (1.0 for empty or all-zero)."""
     loads = list(loads)
@@ -267,6 +277,22 @@ class ExecutionStats:
     def phases(self) -> tuple[str, ...]:
         """Phase names in first-charge order (the per-phase report order)."""
         return tuple(self._phase_loads)
+
+    @property
+    def recovery_cpu(self) -> float:
+        """Total CPU across every recovery phase, stage-qualified included.
+
+        Pure plans charge retries to :data:`RECOVERY_PHASE`; multi-stage
+        hybrid plans to per-stage ``recovery:stageN`` phases — this sums
+        them all, so ``total_cpu - recovery_cpu`` is the fault-free total
+        regardless of plan shape.
+        """
+        return sum(
+            self.phase_cpu(phase)
+            for phase in self._phase_loads
+            if phase == RECOVERY_PHASE
+            or phase.startswith(f"{RECOVERY_PHASE}:")
+        )
 
     def worker_loads(self, phase: Optional[str] = None) -> dict[int, float]:
         """Per-worker total charge, optionally restricted to one phase."""

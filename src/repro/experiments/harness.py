@@ -255,7 +255,7 @@ def fault_sweep(
             "disposition": report.disposition if report is not None else "",
             "retries": result.stats.retries,
             "faults_injected": result.stats.faults_injected,
-            "recovery_cpu": result.stats.phase_cpu("recovery"),
+            "recovery_cpu": result.stats.recovery_cpu,
             "total_cpu": result.stats.total_cpu,
             "wall_clock": result.stats.wall_clock,
             "results": result.stats.result_count,

@@ -2,6 +2,12 @@
 
 from .api import make_cluster, run_all_strategies, run_query
 from .binary import LeftDeepPlan, left_deep_plan, shared_variables
+from .decompose import (
+    Decomposition,
+    default_decomposition,
+    enumerate_decompositions,
+    lower_hybrid,
+)
 from .explain import AnalyzedPlan, Explanation, explain, explain_analyze
 from .executor import ExecutionResult, execute, execute_physical
 from .optimizer import (
@@ -14,6 +20,7 @@ from .optimizer import (
     optimize,
 )
 from .physical import (
+    HYBRID_STRATEGY,
     PhysicalPlan,
     Round,
     lower,
@@ -43,8 +50,10 @@ __all__ = [
     "BR_HJ",
     "BR_TJ",
     "CostReport",
+    "Decomposition",
     "ExecutionResult",
     "Explanation",
+    "HYBRID_STRATEGY",
     "OptimizedPlan",
     "PlanCache",
     "StrategyCost",
@@ -58,6 +67,8 @@ __all__ = [
     "Round",
     "ShuffleKind",
     "Strategy",
+    "default_decomposition",
+    "enumerate_decompositions",
     "estimate_costs",
     "execute",
     "execute_physical",
@@ -67,6 +78,7 @@ __all__ = [
     "left_deep_plan",
     "lower",
     "lower_broadcast",
+    "lower_hybrid",
     "lower_hypercube",
     "lower_regular",
     "lower_semijoin",

@@ -23,6 +23,7 @@ from ..query.parser import parse_query
 from ..storage.relation import Database
 from .executor import ExecutionResult, execute, execute_physical
 from .optimizer import AUTO_STRATEGY, optimize
+from .physical import HYBRID_STRATEGY, lower
 from .plans import ALL_STRATEGIES, Strategy
 from .semijoin import execute_semijoin
 
@@ -61,10 +62,12 @@ def run_query(
     """Parse (if needed), plan, and execute a query on a fresh cluster.
 
     ``strategy`` is one of RS_HJ, RS_TJ, BR_HJ, BR_TJ, HC_HJ, HC_TJ,
-    ``"SJ_HJ"`` for the semijoin-reduction plan on acyclic queries, or
-    ``"auto"`` to let the cost-based optimizer
-    (:mod:`~repro.planner.optimizer`) pick the cheapest of the six grid
-    strategies from catalog statistics; the result then carries the
+    ``"SJ_HJ"`` for the semijoin-reduction plan on acyclic queries,
+    ``"HYBRID"`` for the multi-stage binary+WCOJ plan
+    (:mod:`~repro.planner.decompose`; the query needs at least four
+    atoms), or ``"auto"`` to let the cost-based optimizer
+    (:mod:`~repro.planner.optimizer`) pick the cheapest strategy — pure
+    or hybrid — from catalog statistics; the result then carries the
     per-strategy cost table as ``result.cost_report``.
     ``runtime`` is ``"serial"`` (default), ``"parallel[:N]"`` (threads),
     ``"parallel:N:proc"`` (forked worker processes — the mode with real
@@ -98,6 +101,15 @@ def run_query(
     if isinstance(strategy, str) and strategy == "SJ_HJ":
         return execute_semijoin(
             parsed, cluster, runtime=runtime, kernels=kernels,
+            faults=faults, recovery=recovery,
+        )
+    if isinstance(strategy, str) and strategy == HYBRID_STRATEGY:
+        physical = lower(
+            parsed, HYBRID_STRATEGY, Catalog(database),
+            variable_order=variable_order,
+        )
+        return execute_physical(
+            physical, cluster, runtime=runtime, kernels=kernels,
             faults=faults, recovery=recovery,
         )
     if isinstance(strategy, str):

@@ -28,7 +28,12 @@ from typing import Optional, Sequence, Union
 from ..engine.faults import FaultsLike, PolicyLike
 from ..engine.runtime import RuntimeLike
 from ..engine.scheduler import OperatorTrace
-from ..engine.stats import RECOVERY_PHASE, ExecutionStats, ShuffleRecord
+from ..engine.stats import (
+    RECOVERY_PHASE,
+    ExecutionStats,
+    ShuffleRecord,
+    recovery_phase,
+)
 from ..hypercube.config import HyperCubeConfig, config_workload, optimize_config
 from ..hypercube.shares import (
     FractionalShares,
@@ -196,6 +201,16 @@ class OperatorAnnotation:
     skipped: bool = False
 
 
+@dataclass(frozen=True)
+class StageSummary:
+    """One plan stage's subtotal row in a multi-stage EXPLAIN ANALYZE."""
+
+    stage: int
+    cpu: float
+    wall: float
+    recovery_cpu: float
+
+
 @dataclass
 class AnalyzedPlan:
     """An executed physical plan with per-operator counted metrics."""
@@ -213,15 +228,70 @@ class AnalyzedPlan:
         """Per-operator CPU attribution.
 
         Sums exactly to ``total_cpu`` minus :attr:`recovery_cpu` — the
-        ``recovery`` phase is charged by the retry machinery, never by a
-        physical operator, so it is reported separately.
+        ``recovery`` phases are charged by the retry machinery, never by a
+        physical operator, so they are reported separately.
         """
         return [annotation.cpu for annotation in self.annotations]
 
+    def _recovery_phases(self) -> tuple[str, ...]:
+        """Every recovery phase charged: ``recovery`` and ``recovery:stageN``."""
+        return tuple(
+            phase
+            for phase in self.stats.phases()
+            if phase == RECOVERY_PHASE
+            or phase.startswith(RECOVERY_PHASE + ":")
+        )
+
     @property
     def recovery_cpu(self) -> float:
-        """CPU charged to the ``recovery`` phase (wasted attempts + backoff)."""
-        return self.stats.phase_cpu(RECOVERY_PHASE)
+        """CPU charged to recovery phases (wasted attempts + backoff).
+
+        Sums the plain ``recovery`` phase (pure single-stage plans) and
+        every stage-qualified ``recovery:stageN`` phase of a hybrid plan.
+        """
+        return sum(self.stats.phase_cpu(p) for p in self._recovery_phases())
+
+    @property
+    def recovery_wall(self) -> float:
+        """Wall contributed by recovery phases (each priced independently)."""
+        return sum(self.stats.phase_wall(p) for p in self._recovery_phases())
+
+    def stage_summaries(self) -> tuple[StageSummary, ...]:
+        """Per-stage CPU/wall/recovery subtotals, in plan stage order.
+
+        Each stage's CPU is the sum of its operators' attributed charges
+        plus the stage's own recovery phase; summed over stages this equals
+        ``total_cpu`` exactly (the per-stage conservation invariant a
+        multi-stage plan must keep under fault injection).
+        """
+        rounds = self.physical.rounds
+        summaries = []
+        for stage in self.physical.stages():
+            cpu = sum(
+                a.cpu
+                for a in self.annotations
+                if rounds[a.round_index].stage == stage
+            )
+            phases: list[str] = []
+            for round_ in rounds:
+                if round_.stage != stage:
+                    continue
+                for op in round_.ops:
+                    for phase in op.phases:
+                        if phase not in phases:
+                            phases.append(phase)
+            stage_recovery = recovery_phase(stage)
+            wall = sum(self.stats.phase_wall(p) for p in phases)
+            wall += self.stats.phase_wall(stage_recovery)
+            summaries.append(
+                StageSummary(
+                    stage=stage,
+                    cpu=cpu,
+                    wall=wall,
+                    recovery_cpu=self.stats.phase_cpu(stage_recovery),
+                )
+            )
+        return tuple(summaries)
 
     def render(self) -> str:
         """The annotated plan: one indented metric line per operator."""
@@ -230,11 +300,15 @@ class AnalyzedPlan:
             f"physical plan {self.physical.query.name} "
             f"[{self.physical.strategy}] (analyzed)"
         ]
+        multistage = self.physical.is_multistage
         last_round = -1
         for annotation in self.annotations:
             if annotation.round_index != last_round:
                 round_ = self.physical.rounds[annotation.round_index]
-                lines.append(f"round {annotation.round_index} <{round_.label}>:")
+                header = f"round {annotation.round_index} <{round_.label}>"
+                if multistage:
+                    header += f" [stage {round_.stage}]"
+                lines.append(header + ":")
                 last_round = annotation.round_index
             lines.append(f"  {annotation.describe}")
             if annotation.skipped:
@@ -256,10 +330,19 @@ class AnalyzedPlan:
             f"totals: cpu={stats.total_cpu:,.2f} wall={stats.wall_clock:,.2f} "
             f"shuffled={stats.tuples_shuffled:,} results={stats.result_count:,}"
         )
+        if self.physical.is_multistage:
+            for summary in self.stage_summaries():
+                line = (
+                    f"stage {summary.stage}: cpu={summary.cpu:,.2f} "
+                    f"wall={summary.wall:,.2f}"
+                )
+                if summary.recovery_cpu:
+                    line += f" recovery_cpu={summary.recovery_cpu:,.2f}"
+                lines.append(line)
         if stats.retries or stats.faults_injected:
             lines.append(
                 f"recovery: cpu={self.recovery_cpu:,.2f} "
-                f"(wall {stats.phase_wall(RECOVERY_PHASE):,.2f})  "
+                f"(wall {self.recovery_wall:,.2f})  "
                 f"retries={stats.retries} faults_injected={stats.faults_injected}"
             )
         report = self.result.failure_report

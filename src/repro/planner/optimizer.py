@@ -57,8 +57,17 @@ from ..leapfrog.variable_order import best_join_order, estimate_order_cost
 from ..query.atoms import Atom, ConjunctiveQuery, Variable
 from ..query.catalog import Catalog
 from .binary import LeftDeepPlan, left_deep_plan, shared_variables
-from .physical import PhysicalPlan, canonical_key, lower
-from .plans import ALL_STRATEGIES, JoinKind, ShuffleKind, Strategy
+from .decompose import (
+    Decomposition,
+    HybridCatalog,
+    enumerate_decompositions,
+    estimate_intermediate,
+    lower_hybrid,
+    stage_one_query,
+    stage_two_query,
+)
+from .physical import HYBRID_STRATEGY, PhysicalPlan, canonical_key, lower
+from .plans import ALL_STRATEGIES, HC_TJ, RS_HJ, JoinKind, ShuffleKind, Strategy
 
 #: the strategy name callers pass to request cost-based selection
 AUTO_STRATEGY = "auto"
@@ -87,6 +96,8 @@ class StrategyCost:
     intermediate_sizes: tuple[float, ...] = ()
     #: whether the peak-memory estimate exceeds the cluster budget
     predicted_oom: bool = False
+    #: extra shape description (hybrid rows carry their decomposition)
+    detail: str = ""
 
     @property
     def cost(self) -> float:
@@ -105,17 +116,24 @@ class CostReport:
     choice: str
     #: True when an empty post-selection atom short-circuited costing
     trivial: bool = False
+    #: multi-stage shapes priced alongside the pure strategies (at most the
+    #: cheapest hybrid; empty when hybrid search was off or found no shape)
+    hybrids: tuple[StrategyCost, ...] = ()
+    #: the decomposition behind the cheapest hybrid row, for lowering
+    hybrid_decomposition: Optional[Decomposition] = None
 
     def cost_of(self, strategy: str) -> StrategyCost:
-        """Look up one strategy's predicted cost row."""
-        for entry in self.costs:
+        """Look up one strategy's predicted cost row (pure or hybrid)."""
+        for entry in self.costs + self.hybrids:
             if entry.strategy == strategy:
                 return entry
         raise KeyError(f"no cost entry for strategy {strategy!r}")
 
     def ranking(self) -> tuple[StrategyCost, ...]:
         """Cost rows sorted cheapest-first (predicted failures last)."""
-        return tuple(sorted(self.costs, key=lambda entry: entry.cost))
+        return tuple(
+            sorted(self.costs + self.hybrids, key=lambda entry: entry.cost)
+        )
 
     def render(self) -> str:
         """The per-strategy cost table EXPLAIN prints, cheapest first."""
@@ -149,6 +167,9 @@ class CostReport:
                 f"{entry.total_cpu:>14,.0f} {entry.tuples_shuffled:>14,.0f} "
                 f"{entry.peak_memory:>13,.0f}{marker}"
             )
+        for entry in self.hybrids:
+            if entry.detail:
+                lines.append(f"  {entry.strategy} shape: {entry.detail}")
         return "\n".join(lines)
 
 
@@ -627,6 +648,52 @@ class _Estimator:
         return skew
 
 
+def _estimate_hybrid(
+    query: ConjunctiveQuery,
+    catalog: Catalog,
+    workers: int,
+    memory_tuples: Optional[int],
+    decomposition: Decomposition,
+) -> StrategyCost:
+    """Price one hybrid shape: RS_HJ stage, boundary, HC_TJ stage.
+
+    Stage one is priced by the regular-shuffle estimator on the stage-one
+    subquery; the stage boundary charges one unit per stage-one output tuple
+    (the re-scan/projection) spread evenly over workers; stage two is priced
+    by the HyperCube estimator on the residual subquery, reading the
+    intermediate's statistics through a :class:`HybridCatalog` overlay.
+    The phases are sequential, so walls and CPU add and peak residency is
+    the worse of the two stages.
+    """
+    stage_one = stage_one_query(query, decomposition)
+    stage_two = stage_two_query(query, decomposition)
+    overlay = {
+        decomposition.alias: estimate_intermediate(query, catalog, decomposition)
+    }
+    first = _Estimator(stage_one, catalog, workers, memory_tuples)
+    one = first._estimate_regular(RS_HJ)
+    boundary_cpu = first.result_size
+    boundary_wall = first.result_size / max(1, workers)
+    second = _Estimator(
+        stage_two, HybridCatalog(catalog, overlay), workers, memory_tuples
+    )
+    two = second._estimate_hypercube(HC_TJ)
+    return StrategyCost(
+        strategy=HYBRID_STRATEGY,
+        wall_clock=one.wall_clock + boundary_wall + two.wall_clock,
+        total_cpu=one.total_cpu + boundary_cpu + two.total_cpu,
+        tuples_shuffled=one.tuples_shuffled + two.tuples_shuffled,
+        peak_memory=max(one.peak_memory, two.peak_memory),
+        intermediate_sizes=(
+            one.intermediate_sizes
+            + (overlay[decomposition.alias].cardinality,)
+            + two.intermediate_sizes
+        ),
+        predicted_oom=one.predicted_oom or two.predicted_oom,
+        detail=decomposition.describe(),
+    )
+
+
 def estimate_costs(
     query: ConjunctiveQuery,
     catalog: Catalog,
@@ -634,6 +701,7 @@ def estimate_costs(
     memory_tuples: Optional[int] = None,
     plan: Optional[LeftDeepPlan] = None,
     variable_order: Optional[Sequence[Variable]] = None,
+    hybrid: bool = False,
 ) -> CostReport:
     """Price all six strategies for a query from catalog statistics alone.
 
@@ -643,6 +711,11 @@ def estimate_costs(
     atom short-circuits to a trivial report — every strategy returns zero
     rows, so the least data movement wins by fiat and no cost ratios are
     formed over zero counts.
+
+    With ``hybrid=True`` the search additionally enumerates multi-stage
+    binary+WCOJ decompositions (:func:`enumerate_decompositions`); the
+    cheapest shape is reported in ``hybrids`` and can win ``choice``.
+    ``costs`` always holds exactly the six pure rows either way.
     """
     if catalog.empty_atoms(query):
         costs = tuple(
@@ -668,8 +741,21 @@ def estimate_costs(
         plan=plan, variable_order=variable_order,
     )
     costs = tuple(estimator.estimate(strategy) for strategy in ALL_STRATEGIES)
-    choice = min(costs, key=lambda entry: entry.cost).strategy
-    if all(entry.predicted_oom for entry in costs):
+    hybrids: tuple[StrategyCost, ...] = ()
+    hybrid_decomposition: Optional[Decomposition] = None
+    if hybrid:
+        shapes = enumerate_decompositions(query)
+        if shapes:
+            priced = [
+                (_estimate_hybrid(query, catalog, workers, memory_tuples, d), d)
+                for d in shapes
+            ]
+            best, hybrid_decomposition = min(
+                priced, key=lambda pair: (pair[0].cost, pair[0].detail)
+            )
+            hybrids = (best,)
+    choice = min(costs + hybrids, key=lambda entry: entry.cost).strategy
+    if all(entry.predicted_oom for entry in costs + hybrids):
         choice = TRIVIAL_STRATEGY  # everything predicted to fail: move least
     return CostReport(
         query=query,
@@ -677,6 +763,8 @@ def estimate_costs(
         memory_tuples=memory_tuples,
         costs=costs,
         choice=choice,
+        hybrids=hybrids,
+        hybrid_decomposition=hybrid_decomposition,
     )
 
 
@@ -800,10 +888,18 @@ def optimize(
     report = estimate_costs(
         query, catalog, workers, memory_tuples,
         plan=plan, variable_order=variable_order,
+        # hybrid shapes ignore the pure-strategy plan/order overrides, so
+        # only search them when the caller left planning entirely to us
+        hybrid=plan is None and variable_order is None,
     )
-    physical = lower(
-        query, report.choice, catalog, plan=plan, variable_order=variable_order
-    )
+    if report.choice == HYBRID_STRATEGY:
+        physical = lower_hybrid(
+            query, catalog, decomposition=report.hybrid_decomposition
+        )
+    else:
+        physical = lower(
+            query, report.choice, catalog, plan=plan, variable_order=variable_order
+        )
     optimized = OptimizedPlan(report=report, physical=physical)
     if use_cache and key is not None:
         cache.store(key, optimized)

@@ -51,6 +51,9 @@ from .plans import ALL_STRATEGIES, JoinKind, ShuffleKind, Strategy
 #: strategy spellings accepted by :func:`lower` beyond the 3x2 grid
 SEMIJOIN_STRATEGY = "SJ_HJ"
 
+#: the multi-stage hybrid plan shape (binary stage -> WCOJ stage)
+HYBRID_STRATEGY = "HYBRID"
+
 StrategyLike = Union[str, Strategy]
 
 
@@ -135,6 +138,47 @@ class Scan(PhysicalOp):
 
 
 @dataclass(frozen=True)
+class ScanIntermediate(PhysicalOp):
+    """Re-scan a prior stage's output slot as a first-class stage input.
+
+    The stage-boundary operator of hybrid plans: projects each worker's
+    fragment of ``input`` onto ``variables`` (optionally de-duplicating when
+    the projection dropped columns) and binds the result under ``out`` so
+    downstream exchanges can re-partition the materialized intermediate
+    exactly like a scanned base relation.  Charges one work unit per input
+    tuple into ``phase``; de-duplicated rows are released from residency
+    (the projection itself is width-free — the memory model counts tuples).
+    """
+
+    input: str
+    out: str
+    variables: tuple[Variable, ...]
+    phase: str
+    dedup: bool = False
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        """The stage-boundary projection phase."""
+        return (self.phase,)
+
+    def input_slots(self) -> tuple[str, ...]:
+        """The prior stage's materialized output."""
+        return (self.input,)
+
+    def output_slots(self) -> tuple[str, ...]:
+        """The intermediate re-exposed as a scannable relation."""
+        return (self.out,)
+
+    def describe(self) -> str:
+        """One-line rendering for EXPLAIN output."""
+        note = ", dedup" if self.dedup else ""
+        return (
+            f"scan-intermediate {self.input} "
+            f"on ({_names(self.variables)}){note} -> {self.out}"
+        )
+
+
+@dataclass(frozen=True)
 class ChooseAnchor(PhysicalOp):
     """Bind the broadcast anchor: the largest post-selection input.
 
@@ -164,6 +208,7 @@ class ConfigureHyperCube(PhysicalOp):
     aliases: tuple[str, ...]
     config: Optional[HyperCubeConfig] = None
     seed: int = 0
+    query: Optional[ConjunctiveQuery] = None
 
     def describe(self) -> str:
         """One-line rendering for EXPLAIN output."""
@@ -434,11 +479,17 @@ class Round:
     granularity the worker runtime commits and the OOM model observes.
     ``local_workers`` is :data:`LOCAL_ALL` (every cluster worker) or
     :data:`LOCAL_HC` (the ``workers_used`` of the HyperCube configuration).
+
+    ``stage`` groups rounds into the subquery stages of a hybrid plan;
+    pure single-strategy plans leave every round at stage 0.  Recovery CPU
+    for stage > 0 rounds is attributed to a stage-qualified recovery phase
+    (``recovery:stageN``) so per-stage conservation holds across faults.
     """
 
     label: str
     ops: tuple[PhysicalOp, ...]
     local_workers: str = LOCAL_ALL
+    stage: int = 0
 
     def global_ops(self) -> tuple[PhysicalOp, ...]:
         """The driver-side operators of this round, in execution order."""
@@ -509,6 +560,15 @@ class PhysicalPlan:
             for op_index, op in enumerate(round_.ops):
                 yield round_index, op_index, round_, op
 
+    def stages(self) -> tuple[int, ...]:
+        """Distinct round stage ids, in plan order."""
+        return tuple(dict.fromkeys(round_.stage for round_ in self.rounds))
+
+    @property
+    def is_multistage(self) -> bool:
+        """Whether this plan mixes more than one subquery stage (hybrid)."""
+        return len(self.stages()) > 1
+
     def local_phase_owners(self) -> dict[str, PhysicalOp]:
         """Map each local-operator stat phase to its unique owning operator.
 
@@ -533,9 +593,11 @@ class PhysicalPlan:
     def render(self) -> str:
         """Multi-line textual form of the plan (the EXPLAIN output)."""
         lines = [f"physical plan {self.query.name} [{self.strategy}]"]
+        multistage = self.is_multistage
         for round_index, round_ in enumerate(self.rounds):
             domain = "" if round_.local_workers == LOCAL_ALL else " (hc workers)"
-            lines.append(f"round {round_index} <{round_.label}>{domain}:")
+            stage = f" [stage {round_.stage}]" if multistage else ""
+            lines.append(f"round {round_index} <{round_.label}>{stage}{domain}:")
             for op in round_.ops:
                 lines.append(f"  {op.describe()}")
         head = _names(self.query.head)
@@ -1065,15 +1127,23 @@ def lower(
     """Lower a query to a :class:`PhysicalPlan` for any strategy.
 
     ``strategy`` is a :class:`~repro.planner.plans.Strategy`, one of the six
-    grid names, or ``"SJ_HJ"`` for the semijoin-reduction plan."""
+    grid names, ``"SJ_HJ"`` for the semijoin-reduction plan, or
+    ``"HYBRID"`` for the multi-stage binary-then-WCOJ plan."""
     if isinstance(strategy, str):
         if strategy == SEMIJOIN_STRATEGY:
             return lower_semijoin(query, catalog)
+        if strategy == HYBRID_STRATEGY:
+            from .decompose import lower_hybrid
+
+            return lower_hybrid(
+                query, catalog, variable_order=variable_order, hc_seed=hc_seed
+            )
         try:
             strategy = Strategy.parse(strategy)
         except ValueError:
             valid = ", ".join(
-                [s.name for s in ALL_STRATEGIES] + [SEMIJOIN_STRATEGY]
+                [s.name for s in ALL_STRATEGIES]
+                + [SEMIJOIN_STRATEGY, HYBRID_STRATEGY]
             )
             raise ValueError(
                 f"unknown strategy {strategy!r}; valid: {valid}"

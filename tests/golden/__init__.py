@@ -1,0 +1,1 @@
+"""Golden captures and their regeneration scripts."""

@@ -14,12 +14,30 @@ snapshot's identity).
 import json
 import os
 
-from repro.planner.physical import SEMIJOIN_STRATEGY, lower
+from repro.planner.physical import HYBRID_STRATEGY, SEMIJOIN_STRATEGY, lower
 from repro.planner.plans import ALL_STRATEGIES
 from repro.query.catalog import Catalog
+from repro.query.parser import parse_query
 from repro.workloads.registry import PAPER_ORDER, get_workload
 
 OUT_PATH = os.path.join(os.path.dirname(__file__), "physical_plans.json")
+
+#: synthetic path-feeding-a-cycle query for the hybrid snapshot: two path
+#: atoms (a-b-c) feed a 3-cycle (c-d-e-c); lowered over the Q1 unit catalog
+PATH_CYCLE_QUERY = (
+    "PathCycle(a, e) :- A:Twitter(a, b), B:Twitter(b, c), "
+    "E1:Twitter(c, d), E2:Twitter(d, e), E3:Twitter(e, c)."
+)
+
+
+def hybrid_cases():
+    """(case key, query, catalog) triples snapshotted under HYBRID."""
+    q8 = get_workload("Q8")
+    twitter = Catalog(get_workload("Q1").dataset("unit"))
+    return [
+        ("Q8", q8.query, Catalog(q8.dataset("unit"))),
+        ("PathCycle", parse_query(PATH_CYCLE_QUERY), twitter),
+    ]
 
 
 def capture() -> dict[str, list[str]]:
@@ -33,6 +51,9 @@ def capture() -> dict[str, list[str]]:
         for strategy in strategies:
             plan = lower(workload.query, strategy, catalog)
             snapshots[f"{name}/{strategy}"] = plan.render().splitlines()
+    for name, query, catalog in hybrid_cases():
+        plan = lower(query, HYBRID_STRATEGY, catalog)
+        snapshots[f"{name}/{HYBRID_STRATEGY}"] = plan.render().splitlines()
     return snapshots
 
 

@@ -11,9 +11,12 @@ from hypothesis import strategies as st
 from repro.engine.cluster import Cluster
 from repro.leapfrog.generic_join import generic_join
 from repro.leapfrog.tributary import tributary_join
-from repro.planner.executor import execute
+from repro.planner.decompose import enumerate_decompositions
+from repro.planner.executor import execute, execute_physical
+from repro.planner.physical import HYBRID_STRATEGY, lower
 from repro.planner.plans import ALL_STRATEGIES
 from repro.query.atoms import Atom, ConjunctiveQuery, Variable
+from repro.query.catalog import Catalog
 from repro.storage.relation import Database
 from tests.test_golden_queries import naive_evaluate
 
@@ -21,9 +24,9 @@ VARIABLES = [Variable(name) for name in "abcdef"]
 
 
 @st.composite
-def query_and_database(draw):
+def query_and_database(draw, min_atoms=2, max_atoms=4):
     """A random connected-ish conjunctive query plus matching relations."""
-    atom_count = draw(st.integers(2, 4))
+    atom_count = draw(st.integers(min_atoms, max_atoms))
     relation_names = ["R0", "R1", "R2"]
     atoms = []
     used: list[Variable] = []
@@ -87,3 +90,35 @@ def test_worker_count_never_changes_results(case, workers):
     cluster.load(database)
     result = execute(query, cluster, HC_TJ)
     assert set(result.rows) == expected
+
+
+@given(query_and_database(min_atoms=4, max_atoms=5))
+@settings(max_examples=25, deadline=None)
+def test_hybrid_decomposition_agrees_with_pure_baseline(case):
+    """Every decomposable fuzzed query matches RS_HJ on both backends."""
+    query, database = case
+    catalog = Catalog(database)
+    if not enumerate_decompositions(query):
+        return  # e.g. no connected stage subset joins the residual
+    baseline_cluster = Cluster(3)
+    baseline_cluster.load(database)
+    baseline = execute_physical(
+        lower(query, "RS_HJ", catalog), baseline_cluster, kernels="python"
+    )
+    assert not baseline.failed
+    expected = sorted(baseline.rows)
+    for kernels in ("python", "numpy"):
+        cluster = Cluster(3)
+        cluster.load(database)
+        result = execute_physical(
+            lower(query, HYBRID_STRATEGY, catalog), cluster, kernels=kernels
+        )
+        assert not result.failed, kernels
+        assert sorted(result.rows) == expected, kernels
+
+
+@given(query_and_database(min_atoms=2, max_atoms=3))
+@settings(max_examples=10, deadline=None)
+def test_small_fuzzed_queries_admit_no_hybrid(case):
+    query, _ = case
+    assert enumerate_decompositions(query) == ()

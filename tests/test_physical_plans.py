@@ -19,16 +19,20 @@ import os
 import pytest
 
 from repro.planner.physical import (
+    HYBRID_STRATEGY,
     SEMIJOIN_STRATEGY,
     Exchange,
     ExchangeKind,
     PhysicalOp,
     Scan,
+    ScanIntermediate,
     lower,
 )
 from repro.planner.plans import ALL_STRATEGIES
 from repro.query.catalog import Catalog
+from repro.query.parser import parse_query
 from repro.workloads.registry import get_workload
+from tests.golden.capture_physical_plans import PATH_CYCLE_QUERY
 
 GOLDEN_PATH = os.path.join(
     os.path.dirname(__file__), "golden", "physical_plans.json"
@@ -49,6 +53,8 @@ def unit_catalog(name) -> Catalog:
 
 def lowered(case):
     name, strategy = case.split("/")
+    if name == "PathCycle":
+        return lower(parse_query(PATH_CYCLE_QUERY), strategy, unit_catalog("Q1"))
     return lower(get_workload(name).query, strategy, unit_catalog(name))
 
 
@@ -59,6 +65,10 @@ def test_every_workload_and_strategy_is_snapshotted():
         assert grid <= covered
         if not get_workload(name).cyclic:
             assert SEMIJOIN_STRATEGY in covered
+    # the multi-stage hybrid shape is pinned for Q8 and the synthetic
+    # path+cycle query (multi-step stage one, dedup boundary)
+    assert f"Q8/{HYBRID_STRATEGY}" in CASES
+    assert f"PathCycle/{HYBRID_STRATEGY}" in CASES
 
 
 @pytest.mark.parametrize("case", CASES)
@@ -82,6 +92,8 @@ def op_inputs(op: PhysicalOp) -> list[str]:
     """The slot names an operator reads, per operator kind."""
     if isinstance(op, Scan):
         return []
+    if isinstance(op, ScanIntermediate):
+        return [op.input]
     if isinstance(op, Exchange):
         return [op.input]
     if hasattr(op, "left"):
