@@ -1,0 +1,234 @@
+#!/usr/bin/env python
+"""Serving benchmark: concurrent mixed traffic through the QueryService.
+
+Drives hundreds of mixed Q1-Q8 queries with Zipf query popularity through
+:class:`repro.engine.service.QueryService` at several concurrency levels,
+recording throughput and p50/p95/p99 submit-to-finish latency per level.
+
+Two properties are *verified*, not just measured:
+
+- **Zero cross-query leakage** — every served query's counted metrics
+  (rows, shuffled tuples, counted CPU/wall, phase list, peak memory per
+  worker) are compared bit-for-bit against a solo run of the same query
+  on the same dataset.  Any divergence fails the bench: concurrency must
+  be invisible to a query's own accounting.
+- **Determinism** — the traffic trace is seeded, so reruns serve the
+  identical query sequence.
+
+Latency here is wall-clock and machine-dependent (like BENCH_e2e.json's
+``seconds``); the counted metrics and the leakage check are exact.  The
+report records ``cpu_cores`` because concurrency level N only buys
+wall-clock parallelism inside Rounds (via ``--runtime``), never across
+them — the scheduler is cooperative, so on any machine higher concurrency
+trades individual latency for fairness at roughly constant throughput.
+
+Usage::
+
+    python benchmarks/bench_serving.py           # 512 queries x levels 1/8/16
+    python benchmarks/bench_serving.py --quick   # 48 queries x levels 2/8 (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.service import QueryRequest, QueryService  # noqa: E402
+from repro.planner.api import run_query  # noqa: E402
+from repro.planner.optimizer import PlanCache  # noqa: E402
+from repro.workloads.registry import PAPER_ORDER, WORKLOADS  # noqa: E402
+from repro.workloads.traffic import latency_summary, zipf_mix  # noqa: E402
+
+WORKERS = 8
+
+#: Zipf popularity exponent of the traffic mix (~web-traffic skew)
+ZIPF_EXPONENT = 1.0
+
+#: traffic-trace seed — the bench is a fixed, reproducible query sequence
+SEED = 2015
+
+
+def counted(stats) -> tuple:
+    """The counted-metric digest that must match a solo run exactly."""
+    return (
+        stats.result_count,
+        stats.tuples_shuffled,
+        stats.total_cpu,
+        stats.wall_clock,
+        tuple(stats.phases()),
+        tuple(sorted(stats.peak_memory.items())),
+    )
+
+
+def solo_baselines(names, databases) -> dict[str, tuple]:
+    """One solo run per distinct workload: the leakage-check reference."""
+    baselines = {}
+    for name in names:
+        workload = WORKLOADS[name]
+        result = run_query(
+            workload.query,
+            databases[name],
+            strategy="auto",
+            workers=WORKERS,
+        )
+        if result.failed:
+            raise AssertionError(f"solo {name} failed: {result.stats.failure}")
+        baselines[name] = (sorted(result.rows), counted(result.stats))
+    return baselines
+
+
+def serve_level(
+    trace, databases, baselines, concurrency: int, runtime: str
+) -> dict:
+    """Serve the whole trace at one concurrency level and verify leakage."""
+    service = QueryService(
+        runtime=runtime,
+        max_inflight=concurrency,
+        plan_cache=PlanCache(),
+    )
+    started = time.perf_counter()
+    for name in trace:
+        workload = WORKLOADS[name]
+        service.submit(
+            QueryRequest(
+                query=workload.query,
+                database=databases[name],
+                workers=WORKERS,
+                label=name,
+            )
+        )
+    outcomes = service.run_until_complete()
+    elapsed = time.perf_counter() - started
+
+    leakage_failures = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            leakage_failures.append(
+                f"#{outcome.query_id} {outcome.label}: {outcome.status} "
+                f"({outcome.detail})"
+            )
+            continue
+        rows, digest = baselines[outcome.label]
+        if sorted(outcome.rows) != rows or counted(outcome.stats) != digest:
+            leakage_failures.append(
+                f"#{outcome.query_id} {outcome.label}: counted metrics "
+                "diverge from solo run"
+            )
+
+    stats = service.stats
+    cached = stats.cache_hits + stats.cache_misses
+    return {
+        "concurrency": concurrency,
+        "queries": len(outcomes),
+        "elapsed_seconds": elapsed,
+        "throughput_qps": len(outcomes) / elapsed if elapsed else float("inf"),
+        "latency": latency_summary(
+            [o.wall_seconds for o in outcomes if o.ok]
+        ),
+        "outcomes": {k: v for k, v in stats.outcome_counts().items() if v},
+        "peak_inflight": stats.peak_inflight,
+        "scheduler_ticks": stats.ticks,
+        "rounds_executed": stats.rounds_executed,
+        "plan_cache_hit_rate": stats.cache_hits / cached if cached else 0.0,
+        "oom_retries": stats.oom_retries,
+        "leakage_checked": len(outcomes),
+        "leakage_failures": leakage_failures,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="48 queries at levels 2 and 8 (CI smoke)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="queries per level (default: 512, or 48 with --quick)")
+    parser.add_argument("--levels", type=int, nargs="*", default=None,
+                        help="concurrency levels (default: 1 8 16, or 2 8 with --quick)")
+    parser.add_argument("--runtime", default="serial",
+                        help="worker runtime shared by all queries "
+                             "(serial, parallel[:N], parallel:N:proc)")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="popularity-ordered subset of Q1..Q8 (default: all)")
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--zipf", type=float, default=ZIPF_EXPONENT)
+    parser.add_argument("--output", default=None,
+                        help="output path (default: <repo>/BENCH_serving.json)")
+    args = parser.parse_args(argv)
+    queries = args.queries or (48 if args.quick else 512)
+    levels = args.levels or ([2, 8] if args.quick else [1, 8, 16])
+    names = args.workloads or list(PAPER_ORDER)
+    output = Path(args.output) if args.output else (
+        Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+    )
+
+    cores = os.cpu_count() or 1
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        pass
+
+    # unit scale: the serving bench measures the *scheduler*, and hundreds
+    # of bench-scale queries would measure the datasets instead
+    databases = {}
+    built = {}
+    for name in names:
+        workload = WORKLOADS[name]
+        if workload.unit_dataset not in built:
+            built[workload.unit_dataset] = workload.dataset("unit")
+        databases[name] = built[workload.unit_dataset]
+
+    trace = zipf_mix(names, queries, exponent=args.zipf, seed=args.seed)
+    baselines = solo_baselines(sorted(set(trace)), databases)
+
+    per_level = []
+    clean = True
+    for concurrency in levels:
+        level = serve_level(
+            trace, databases, baselines, concurrency, args.runtime
+        )
+        per_level.append(level)
+        clean = clean and not level["leakage_failures"]
+        print(
+            f"concurrency {concurrency:>3}: "
+            f"{level['throughput_qps']:6.1f} q/s  "
+            f"p50 {level['latency']['p50_seconds'] * 1000:7.1f}ms  "
+            f"p99 {level['latency']['p99_seconds'] * 1000:7.1f}ms  "
+            f"cache {level['plan_cache_hit_rate'] * 100:3.0f}%  "
+            f"leakage failures {len(level['leakage_failures'])}",
+            flush=True,
+        )
+
+    report = {
+        "queries_per_level": queries,
+        "traffic": {
+            "workloads": names,
+            "zipf_exponent": args.zipf,
+            "seed": args.seed,
+            "mix": {name: trace.count(name) for name in sorted(set(trace))},
+        },
+        "scale": "unit",
+        "workers": WORKERS,
+        "runtime": args.runtime,
+        "cpu_cores": cores,
+        "note": (
+            "latency/throughput are measured wall-clock (machine-dependent); "
+            "the leakage check is exact: every served query's counted "
+            "metrics are bit-identical to its solo run or the bench fails."
+        ),
+        "leakage_check": "pass" if clean else "FAIL",
+        "levels": per_level,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {output} (cpu_cores={cores}, "
+          f"leakage_check={report['leakage_check']})")
+    return 0 if clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,8 @@ grid      Run one of the paper's workloads (Q1..Q8) under all six
           configurations and print the paper-style figure.
 config    Show the fractional shares and the Algorithm-1 integral
           configuration for a query on a cluster size.
+serve     Drive a concurrent mix of the paper's workloads through the
+          multi-query serving layer and print throughput + latency.
 workloads List the registered workloads.
 
 Examples
@@ -23,6 +25,7 @@ Examples
     python -m repro run "..." --faults plan.json --recovery retry
     python -m repro grid Q1 --workers 16 --scale unit
     python -m repro config Q2 --workers 15
+    python -m repro serve --queries 64 --concurrency 8 --scale unit
 
 Exit codes
 ----------
@@ -41,6 +44,7 @@ import sys
 
 from .engine.faults import FaultPlan, resolve_policy
 from .engine.kernels import KERNEL_BACKENDS, set_backend
+from .engine.service import QueryRequest, QueryService
 from .experiments.harness import format_figure, run_workload
 from .hypercube.config import optimize_config
 from .hypercube.shares import fractional_shares
@@ -50,6 +54,7 @@ from .query.catalog import cardinalities_for
 from .query.parser import parse_query
 from .storage.generators import freebase_database, twitter_database
 from .workloads.registry import PAPER_ORDER, WORKLOADS, get_workload
+from .workloads.traffic import latency_summary, zipf_mix
 
 
 #: documented exit codes (see the module docstring)
@@ -218,6 +223,74 @@ def _cmd_config(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` command: a concurrent traffic mix through the service."""
+    import time
+
+    names = (
+        [name.strip() for name in args.workloads.split(",") if name.strip()]
+        if args.workloads
+        else list(PAPER_ORDER)
+    )
+    for name in names:
+        if name not in WORKLOADS:
+            raise ValueError(f"unknown workload {name!r}; use Q1..Q8")
+    trace = zipf_mix(names, args.queries, exponent=args.zipf, seed=args.seed)
+    databases: dict = {}
+    service = QueryService(
+        runtime=args.runtime,
+        kernels=args.kernels,
+        max_inflight=args.concurrency,
+        memory_tuples=args.memory_tuples,
+    )
+    started = time.perf_counter()
+    for name in trace:
+        workload = get_workload(name)
+        builder = (workload.name, args.scale)
+        if builder not in databases:
+            databases[builder] = workload.dataset(args.scale)
+        service.submit(
+            QueryRequest(
+                query=workload.query,
+                database=databases[builder],
+                workers=args.workers,
+                deadline_ticks=args.deadline_ticks,
+                timeout_seconds=args.timeout,
+                label=name,
+            )
+        )
+    outcomes = service.run_until_complete()
+    elapsed = time.perf_counter() - started
+    stats = service.stats
+    latency = latency_summary([o.wall_seconds for o in outcomes if o.ok])
+    print(f"queries:     {len(outcomes)} over {sorted(set(trace))}")
+    print("outcomes:    " + ", ".join(
+        f"{status}={count}"
+        for status, count in stats.outcome_counts().items()
+        if count
+    ))
+    print(f"elapsed:     {elapsed:.2f}s  "
+          f"throughput {len(outcomes) / elapsed:.1f} queries/s")
+    print(f"latency:     p50 {latency['p50_seconds'] * 1000:.1f}ms  "
+          f"p95 {latency['p95_seconds'] * 1000:.1f}ms  "
+          f"p99 {latency['p99_seconds'] * 1000:.1f}ms")
+    cached = stats.cache_hits + stats.cache_misses
+    if cached:
+        print(f"plan cache:  {stats.cache_hits}/{cached} hits "
+              f"({100 * stats.cache_hits / cached:.0f}%)")
+    print(f"scheduler:   {stats.ticks} ticks, {stats.rounds_executed} rounds, "
+          f"peak in-flight {stats.peak_inflight}, "
+          f"{stats.oom_retries} grant escalations")
+    if args.show_outcomes:
+        for outcome in outcomes:
+            print(f"  #{outcome.query_id:<4} {outcome.label:<4} "
+                  f"{outcome.status:<9} rows={len(outcome.rows):<8,} "
+                  f"{outcome.wall_seconds * 1000:8.1f}ms  {outcome.detail}")
+    if stats.failed:
+        return EXIT_FAIL
+    return EXIT_OK
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     """The ``workloads`` command: list the paper's registered queries."""
     for name in PAPER_ORDER:
@@ -311,6 +384,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="assumed relation size for ad-hoc queries",
     )
     config_cmd.set_defaults(func=_cmd_config)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run a concurrent workload mix through the serving layer"
+    )
+    serve_cmd.add_argument("--queries", type=int, default=64,
+                           help="how many queries to submit (default 64)")
+    serve_cmd.add_argument("--concurrency", type=int, default=8,
+                           help="max in-flight queries (default 8)")
+    serve_cmd.add_argument("--workers", type=int, default=16)
+    serve_cmd.add_argument("--scale", default="unit", choices=("unit", "bench"))
+    serve_cmd.add_argument("--workloads", default=None,
+                           help="comma-separated subset of Q1..Q8 in "
+                                "popularity order (default: all eight)")
+    serve_cmd.add_argument("--zipf", type=float, default=1.0,
+                           help="Zipf popularity exponent (0 = uniform)")
+    serve_cmd.add_argument("--seed", type=int, default=0,
+                           help="traffic-trace seed")
+    serve_cmd.add_argument("--memory-tuples", type=int, default=None,
+                           help="service-wide per-worker tuple budget the "
+                                "governor apportions (default: ungoverned)")
+    serve_cmd.add_argument("--deadline-ticks", type=int, default=None,
+                           help="per-query logical deadline in scheduler ticks")
+    serve_cmd.add_argument("--timeout", type=float, default=None,
+                           help="per-query wall-clock timeout in seconds")
+    serve_cmd.add_argument("--runtime", default="serial",
+                           help="worker runtime: 'serial', 'parallel[:N]' (threads), or 'parallel:N:proc' (processes)")
+    serve_cmd.add_argument("--kernels", choices=KERNEL_BACKENDS, default=None,
+                           help="kernel backend (default: $REPRO_KERNELS or numpy)")
+    serve_cmd.add_argument("--show-outcomes", action="store_true",
+                           help="print one line per query outcome")
+    serve_cmd.set_defaults(func=_cmd_serve)
 
     list_cmd = commands.add_parser("workloads", help="list the paper's queries")
     list_cmd.set_defaults(func=_cmd_workloads)

@@ -30,7 +30,20 @@ from .runtime import (
     WorkerRuntime,
     resolve_runtime,
 )
-from .scheduler import OperatorTrace, ScheduledRun, run_plan
+from .scheduler import (
+    ExecutionCheckpoint,
+    OperatorTrace,
+    PlanExecution,
+    ScheduledRun,
+    run_plan,
+)
+from .service import (
+    MemoryGovernor,
+    QueryOutcome,
+    QueryRequest,
+    QueryService,
+    ServiceStats,
+)
 from .shuffle import broadcast, hash_row, hypercube_shuffle, regular_shuffle
 from .stats import (
     RECOVERY_PHASE,
@@ -43,6 +56,7 @@ from .stats import (
 
 __all__ = [
     "Cluster",
+    "ExecutionCheckpoint",
     "ExecutionStats",
     "FailureReport",
     "FaultAbort",
@@ -53,13 +67,19 @@ __all__ = [
     "InjectedFault",
     "KERNEL_BACKENDS",
     "MemoryBudget",
+    "MemoryGovernor",
     "OperatorTrace",
     "OutOfMemoryError",
     "ParallelRuntime",
+    "PlanExecution",
+    "QueryOutcome",
+    "QueryRequest",
+    "QueryService",
     "RECOVERY_PHASE",
     "RecoveryPolicy",
     "ScheduledRun",
     "SerialRuntime",
+    "ServiceStats",
     "ShuffleRecord",
     "StatsCheckpoint",
     "WorkerLedger",

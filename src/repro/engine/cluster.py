@@ -39,6 +39,25 @@ class Cluster:
                 fragments[index % self.workers].append(row)
             self._fragments[name] = fragments
 
+    def view(self, memory: Optional[MemoryBudget] = None) -> "Cluster":
+        """A cluster sharing this one's loaded fragments under its own budget.
+
+        Fragments are read-only during execution (scans copy rows into
+        fresh frames), so many concurrent executions can share one loaded
+        partitioning; what must *not* be shared is the memory accounting —
+        each execution resets and charges its budget privately.  The
+        serving layer (:mod:`~repro.engine.service`) admits every query on
+        a view of one template cluster per (database, workers) pair,
+        paying the round-robin partitioning cost once instead of per
+        query.  Views are indistinguishable from a freshly loaded cluster:
+        the partitioning is deterministic, so a view's fragments equal
+        what ``Cluster(workers).load(database)`` would produce.
+        """
+        clone = Cluster(self.workers, memory or MemoryBudget())
+        clone.database = self.database
+        clone._fragments = self._fragments
+        return clone
+
     def fragments(self, relation_name: str) -> list[list[tuple[int, ...]]]:
         """Per-worker row lists of a loaded relation."""
         try:

@@ -57,7 +57,13 @@ from .runtime import WorkerLedger, WorkerRuntime
 from .shuffle import broadcast, hypercube_shuffle, regular_shuffle
 from .stats import ExecutionStats, recovery_phase
 
-__all__ = ["OperatorTrace", "ScheduledRun", "run_plan"]
+__all__ = [
+    "ExecutionCheckpoint",
+    "OperatorTrace",
+    "PlanExecution",
+    "ScheduledRun",
+    "run_plan",
+]
 
 #: a slot's per-worker payload: frames (most operators) or raw result rows
 #: (the Tributary join emits projected head rows directly)
@@ -612,6 +618,194 @@ def _run_round_recovering(
             ) from fault
 
 
+@dataclass(frozen=True)
+class ExecutionCheckpoint:
+    """An opaque Round-boundary snapshot of a :class:`PlanExecution`.
+
+    Wraps the recovery layer's :class:`_RoundCheckpoint` together with the
+    round cursor it was captured at, so callers (the serving layer's
+    timeout eviction) can roll a stepped execution back to the boundary
+    without knowing the checkpoint internals.
+    """
+
+    round_index: int
+    inner: _RoundCheckpoint
+
+
+class PlanExecution:
+    """Round-granularity execution of one physical plan.
+
+    The scheduler has always executed plans Round by Round;
+    :func:`run_plan` drives all rounds to completion in one call.  This
+    class exposes the same loop as a *stepper*: :meth:`step` runs exactly
+    one Round, :meth:`finalize` performs the union/project/de-duplicate
+    tail once every Round has run, and :meth:`checkpoint` /
+    :meth:`rollback` expose the recovery layer's Round-boundary snapshot
+    machinery.  The concurrent serving layer
+    (:mod:`~repro.engine.service`) interleaves :meth:`step` calls from
+    many queries onto one shared worker runtime; a single query stepped to
+    completion is bit-identical to :func:`run_plan` by construction
+    (:func:`run_plan` *is* this class stepped in a loop).
+
+    ``manage_session`` controls the worker-runtime session bracket: by
+    default the execution opens a per-plan session on construction and
+    :meth:`close` ends it, exactly as :func:`run_plan` always did.  A
+    caller multiplexing several executions over one long-lived runtime
+    session (the serving layer) passes ``manage_session=False`` and owns
+    the ``open_session()``/``close_session()`` bracket itself.
+    """
+
+    def __init__(
+        self,
+        plan: PhysicalPlan,
+        cluster: Cluster,
+        stats: ExecutionStats,
+        runtime: WorkerRuntime,
+        trace: Optional[list[OperatorTrace]] = None,
+        faults: Optional[FaultSession] = None,
+        manage_session: bool = True,
+    ) -> None:
+        if faults is not None:
+            runtime = runtime.fault_safe()
+        self.plan = plan
+        self.cluster = cluster
+        self.stats = stats
+        self.runtime = runtime
+        self.trace = trace
+        self.faults = faults
+        self._state = _ExecState()
+        self._next_round = 0
+        self._manage_session = manage_session
+        self._session_open = False
+        if manage_session:
+            runtime.open_session()
+            self._session_open = True
+
+    @property
+    def rounds_total(self) -> int:
+        """How many Rounds the plan has."""
+        return len(self.plan.rounds)
+
+    @property
+    def rounds_done(self) -> int:
+        """How many Rounds have completed (the cursor position)."""
+        return self._next_round
+
+    @property
+    def finished(self) -> bool:
+        """Whether every Round has run (ready to :meth:`finalize`)."""
+        return self._next_round >= len(self.plan.rounds)
+
+    def checkpoint(self) -> ExecutionCheckpoint:
+        """Snapshot the current Round boundary (stats, residency, slots)."""
+        return ExecutionCheckpoint(
+            round_index=self._next_round,
+            inner=_RoundCheckpoint.capture(
+                self.stats, self.cluster, self._state, self.trace
+            ),
+        )
+
+    def rollback(self, checkpoint: ExecutionCheckpoint) -> dict[int, float]:
+        """Restore a boundary snapshot; return per-worker discarded charges.
+
+        Rounds run after the checkpoint are un-done exactly as the
+        recovery layer un-does a failed Round attempt: charges and shuffle
+        records are removed (and returned, per worker), memory residency
+        is restored, slot bindings revert, and the trace is truncated.
+        Peak-memory high-water marks survive — the rolled-back work really
+        did hold those tuples.
+        """
+        wasted = checkpoint.inner.rollback(
+            self.stats, self.cluster, self._state, self.trace
+        )
+        self._next_round = checkpoint.round_index
+        return wasted
+
+    def step(self) -> bool:
+        """Run the next Round; return ``True`` while Rounds remain after it.
+
+        Rounds targeted by an active fault session run under its recovery
+        policy, exactly as in :func:`run_plan`.
+        :class:`~repro.engine.memory.OutOfMemoryError` and
+        :class:`~repro.engine.faults.FaultAbort` propagate with ``stats``
+        and ``trace`` reflecting the partial execution.
+        """
+        if self.finished:
+            raise RuntimeError("plan has no rounds left to step")
+        round_index = self._next_round
+        round_ = self.plan.rounds[round_index]
+        if self.faults is not None and self.faults.needs_recovery(
+            round_index, round_.label
+        ):
+            _run_round_recovering(
+                self.plan, round_, round_index, self.cluster, self.stats,
+                self.runtime, self.trace, self._state, self.faults,
+            )
+        else:
+            _run_round(
+                self.plan, round_, round_index, self.cluster, self.stats,
+                self.runtime, self.trace, self._state, self.faults,
+            )
+        self._next_round += 1
+        return not self.finished
+
+    def close(self) -> None:
+        """End the per-plan runtime session, if this execution owns one."""
+        if self._session_open:
+            self._session_open = False
+            self.runtime.close_session()
+
+    def finalize(self) -> ScheduledRun:
+        """Union worker outputs, project, de-duplicate; build the result.
+
+        Call once after the last Round (``finished`` is True); sets
+        ``stats.result_count`` and returns the :class:`ScheduledRun`.
+        """
+        if not self.finished:
+            raise RuntimeError(
+                f"cannot finalize: {self.rounds_total - self._next_round} "
+                "round(s) have not run"
+            )
+        plan = self.plan
+        slots = self._state.slots
+        if plan.result_kind == RESULT_ROWS:
+            per_worker_rows = slots[plan.result]
+        else:
+            per_worker_rows = [frame.rows for frame in slots[plan.result]]
+        rows: list = []
+        for worker_rows in per_worker_rows:
+            rows.extend(worker_rows)
+        if plan.head_indices is not None:
+            rows = [tuple(row[i] for i in plan.head_indices) for row in rows]
+        if not plan.query.is_full():
+            rows = list(dict.fromkeys(rows))
+        self.stats.result_count = len(rows)
+        # HC evaluates all atoms at once but full-query bindings can repeat
+        # when two workers received overlapping replicas ONLY via projection;
+        # full results are produced exactly once (each binding fixes every
+        # coordinate)
+        if plan.dedup_full and plan.query.is_full():
+            rows = list(dict.fromkeys(rows))
+            self.stats.result_count = len(rows)
+        return ScheduledRun(
+            rows=rows,
+            hc_config=self._state.hc_config,
+            anchor=self._state.anchor,
+            trace=self.trace,
+        )
+
+    def release_residency(self) -> None:
+        """Drop every worker's resident tuples for this execution's cluster.
+
+        Eviction hook for the serving layer: after a rollback the boundary
+        residency (scanned fragments, surviving intermediates) is still
+        registered against the query's private memory budget; an evicted
+        query frees all of it so the governor's grant returns clean.
+        """
+        for worker in range(self.cluster.workers):
+            self.cluster.memory.release_all(worker)
+
+
 def run_plan(
     plan: PhysicalPlan,
     cluster: Cluster,
@@ -639,51 +833,20 @@ def run_plan(
     (:meth:`~repro.engine.runtime.WorkerRuntime.fault_safe`): injection
     hooks mutate driver-side session state from inside worker tasks, which
     forked processes would silently lose.
-    """
-    if faults is not None:
-        runtime = runtime.fault_safe()
-    state = _ExecState()
-    runtime.open_session()
-    try:
-        for round_index, round_ in enumerate(plan.rounds):
-            if faults is not None and faults.needs_recovery(
-                round_index, round_.label
-            ):
-                _run_round_recovering(
-                    plan, round_, round_index, cluster, stats, runtime,
-                    trace, state, faults,
-                )
-            else:
-                _run_round(
-                    plan, round_, round_index, cluster, stats, runtime,
-                    trace, state, faults,
-                )
-    finally:
-        runtime.close_session()
 
-    # finalize: union worker outputs; project and de-duplicate
-    slots = state.slots
-    if plan.result_kind == RESULT_ROWS:
-        per_worker_rows = slots[plan.result]
-    else:
-        per_worker_rows = [frame.rows for frame in slots[plan.result]]
-    rows: list = []
-    for worker_rows in per_worker_rows:
-        rows.extend(worker_rows)
-    if plan.head_indices is not None:
-        rows = [tuple(row[i] for i in plan.head_indices) for row in rows]
-    if not plan.query.is_full():
-        rows = list(dict.fromkeys(rows))
-    stats.result_count = len(rows)
-    # HC evaluates all atoms at once but full-query bindings can repeat when
-    # two workers received overlapping replicas ONLY via projection; full
-    # results are produced exactly once (each binding fixes every coordinate)
-    if plan.dedup_full and plan.query.is_full():
-        rows = list(dict.fromkeys(rows))
-        stats.result_count = len(rows)
-    return ScheduledRun(
-        rows=rows, hc_config=state.hc_config, anchor=state.anchor, trace=trace
+    This is :class:`PlanExecution` stepped to completion in one call — the
+    one-query path and the serving layer's interleaved path execute the
+    exact same per-Round code.
+    """
+    execution = PlanExecution(
+        plan, cluster, stats, runtime, trace=trace, faults=faults
     )
+    try:
+        while not execution.finished:
+            execution.step()
+    finally:
+        execution.close()
+    return execution.finalize()
 
 
 # Imported last on purpose: importing the planner package re-enters this

@@ -11,6 +11,7 @@ from .registry import (
     twitter_bench,
     twitter_unit,
 )
+from .traffic import latency_summary, percentile, zipf_mix, zipf_weights
 from .twitter import TWITTER_QUERIES, Q1, Q2, Q5, Q6
 
 __all__ = [
@@ -30,6 +31,10 @@ __all__ = [
     "freebase_bench",
     "freebase_unit",
     "get_workload",
+    "latency_summary",
+    "percentile",
     "twitter_bench",
     "twitter_unit",
+    "zipf_mix",
+    "zipf_weights",
 ]

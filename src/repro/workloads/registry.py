@@ -115,6 +115,7 @@ class Workload:
     rs_plan_order: Optional[tuple[str, ...]] = None
 
     def dataset(self, scale: str = "bench") -> Database:
+        """Build this workload's dataset at ``unit`` or ``bench`` scale."""
         if scale == "unit":
             return self.unit_dataset()
         if scale == "bench":

@@ -101,6 +101,23 @@ class TestCommands:
         for name in ("Q1", "Q4", "Q8"):
             assert name in captured
 
+    def test_serve_mixed_traffic(self, capsys):
+        code = main(["serve", "--queries", "6", "--concurrency", "3",
+                     "--scale", "unit", "--workers", "4",
+                     "--workloads", "Q1,Q7", "--seed", "3",
+                     "--show-outcomes"])
+        captured = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "ok=6" in captured
+        assert "throughput" in captured
+        assert "p99" in captured
+        assert "plan cache:" in captured
+
+    def test_serve_rejects_unknown_workload(self, capsys):
+        code = main(["serve", "--queries", "2", "--workloads", "Q99"])
+        assert code == EXIT_USAGE
+        assert "Q99" in capsys.readouterr().err
+
     def test_unknown_dataset_exits(self):
         parser = build_parser()
         with pytest.raises(SystemExit):

@@ -1,0 +1,320 @@
+"""Tests for the concurrent multi-query serving layer.
+
+The load-bearing properties: per-query isolation (counted metrics
+bit-identical to a solo run no matter what else is in flight),
+deterministic scheduling under a fixed submission order, memory-governor
+admission control that queues instead of OOMing, timeout/cancel eviction
+that releases every resident tuple, and plan-cache sharing across
+identical concurrent queries.
+"""
+
+import pytest
+
+from repro.engine.service import (
+    DEMAND_HEADROOM,
+    STATUS_CANCELLED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    MemoryGovernor,
+    QueryRequest,
+    QueryService,
+)
+from repro.planner.api import run_query
+from repro.planner.optimizer import PlanCache
+from repro.workloads.registry import WORKLOADS
+from repro.workloads.traffic import percentile, zipf_mix
+
+WORKERS = 8
+
+#: the unit-scale mixed workload the isolation tests serve concurrently
+MIX = ("Q1", "Q7", "Q5", "Q6")
+
+
+@pytest.fixture(scope="module")
+def databases():
+    """Unit-scale datasets, one per distinct builder (shared read-only)."""
+    built = {}
+    for name in MIX + ("Q3",):
+        workload = WORKLOADS[name]
+        if workload.unit_dataset not in built:
+            built[workload.unit_dataset] = workload.dataset("unit")
+    return built
+
+
+def _request(name, databases, **overrides):
+    workload = WORKLOADS[name]
+    defaults = dict(
+        query=workload.query,
+        database=databases[workload.unit_dataset],
+        workers=WORKERS,
+        label=name,
+    )
+    defaults.update(overrides)
+    return QueryRequest(**defaults)
+
+
+def _solo(name, databases):
+    workload = WORKLOADS[name]
+    return run_query(
+        workload.query,
+        databases[workload.unit_dataset],
+        strategy="auto",
+        workers=WORKERS,
+    )
+
+
+def _counted(stats):
+    """The counted-metric tuple that must be bit-identical across runs."""
+    return (
+        stats.result_count,
+        stats.tuples_shuffled,
+        stats.total_cpu,
+        stats.wall_clock,
+        tuple(stats.phases()),
+        tuple(sorted(stats.peak_memory.items())),
+    )
+
+
+class TestIsolation:
+    def test_concurrent_queries_match_solo_runs(self, databases):
+        service = QueryService(max_inflight=4, plan_cache=PlanCache())
+        for name in MIX:
+            service.submit(_request(name, databases))
+        outcomes = service.run_until_complete()
+        assert [o.status for o in outcomes] == [STATUS_OK] * len(MIX)
+        assert service.stats.peak_inflight == 4
+        for outcome in outcomes:
+            solo = _solo(outcome.label, databases)
+            assert sorted(outcome.rows) == sorted(solo.rows)
+            assert _counted(outcome.stats) == _counted(solo.stats)
+
+    def test_interleaving_deterministic(self, databases):
+        def serve():
+            service = QueryService(max_inflight=3, plan_cache=PlanCache())
+            for name in MIX:
+                service.submit(_request(name, databases))
+            return service.run_until_complete()
+
+        first, second = serve(), serve()
+        assert [o.admitted_tick for o in first] == [o.admitted_tick for o in second]
+        assert [o.finished_tick for o in first] == [o.finished_tick for o in second]
+        for a, b in zip(first, second):
+            assert _counted(a.stats) == _counted(b.stats)
+
+    def test_solo_service_run_matches_run_query(self, databases):
+        service = QueryService(max_inflight=1, plan_cache=PlanCache())
+        service.submit(_request("Q1", databases))
+        (outcome,) = service.run_until_complete()
+        solo = _solo("Q1", databases)
+        assert sorted(outcome.rows) == sorted(solo.rows)
+        assert _counted(outcome.stats) == _counted(solo.stats)
+
+
+class TestGovernor:
+    def test_unit_reserve_release(self):
+        governor = MemoryGovernor(total=100)
+        assert governor.try_reserve(1, 60)
+        assert not governor.try_reserve(2, 60)
+        assert governor.try_reserve(2, 40)
+        assert governor.granted == 100
+        governor.release(1)
+        assert governor.granted == 40
+        assert governor.peak_granted == 100
+        assert not governor.admissible(101)
+        assert governor.admissible(100)
+
+    def test_explicit_overdemand_rejected_at_submit(self, databases):
+        service = QueryService(memory_tuples=1_000, plan_cache=PlanCache())
+        query_id = service.submit(
+            _request("Q1", databases, memory_demand=2_000)
+        )
+        outcome = service.outcomes[query_id]
+        assert outcome.status == STATUS_REJECTED
+        assert service.stats.rejected == 1
+        assert "exceeds the service budget" in outcome.detail
+
+    def test_admission_blocks_until_grant_frees(self, databases):
+        service = QueryService(
+            max_inflight=4, memory_tuples=10_000, plan_cache=PlanCache()
+        )
+        for _ in range(2):
+            service.submit(_request("Q1", databases, memory_demand=10_000))
+        outcomes = service.run_until_complete()
+        assert [o.status for o in outcomes] == [STATUS_OK, STATUS_OK]
+        # the whole-budget demands can never overlap
+        assert service.stats.peak_inflight == 1
+        assert service.governor.peak_granted == 10_000
+        assert outcomes[1].admitted_tick > outcomes[0].finished_tick - 1
+
+    def test_underpredicted_grant_escalates_and_completes(self, databases):
+        # Q5's HYBRID plan peaks above prediction * headroom, so its first
+        # grant trips the private budget; the service must re-queue it
+        # with a doubled grant instead of failing it.
+        service = QueryService(
+            max_inflight=4, memory_tuples=200_000, plan_cache=PlanCache()
+        )
+        service.submit(_request("Q5", databases))
+        (outcome,) = service.run_until_complete()
+        assert outcome.status == STATUS_OK
+        assert outcome.retries >= 1
+        assert service.stats.oom_retries >= 1
+        solo = _solo("Q5", databases)
+        assert _counted(outcome.stats) == _counted(solo.stats)
+
+    def test_explicit_demand_is_a_hard_cap(self, databases):
+        # an explicitly declared demand is honoured: no escalation, the
+        # query fails with an OOM outcome when it exceeds its own cap
+        service = QueryService(
+            max_inflight=2, memory_tuples=50_000, plan_cache=PlanCache()
+        )
+        service.submit(_request("Q1", databases, memory_demand=10))
+        (outcome,) = service.run_until_complete()
+        assert outcome.status == STATUS_FAILED
+        assert outcome.retries == 0
+        assert "out of memory" in outcome.detail
+        assert service.governor.granted == 0
+
+
+class TestEviction:
+    def test_timeout_rolls_back_and_releases_residency(self, databases):
+        service = QueryService(max_inflight=2, plan_cache=PlanCache())
+        service.submit(_request("Q1", databases, timeout_seconds=0.0))
+        (outcome,) = service.run_until_complete()
+        assert outcome.status == STATUS_TIMEOUT
+        assert "rolled back" in outcome.detail
+        assert service.stats.rounds_rolled_back >= 1
+        assert outcome.rounds_completed == 0
+        # eviction released every resident tuple of the private budget
+        assert all(
+            outcome.memory.resident(worker) == 0 for worker in range(WORKERS)
+        )
+        assert service.governor.granted == 0
+
+    def test_logical_deadline_evicts_without_running(self, databases):
+        service = QueryService(max_inflight=2, plan_cache=PlanCache())
+        service.submit(_request("Q1", databases, deadline_ticks=0))
+        (outcome,) = service.run_until_complete()
+        assert outcome.status == STATUS_TIMEOUT
+        assert outcome.rounds_completed == 0
+        assert service.stats.rounds_executed == 0
+
+    def test_deadline_does_not_starve_others(self, databases):
+        service = QueryService(max_inflight=4, plan_cache=PlanCache())
+        service.submit(_request("Q1", databases, deadline_ticks=1))
+        service.submit(_request("Q7", databases))
+        outcomes = service.run_until_complete()
+        assert outcomes[0].status == STATUS_TIMEOUT
+        assert outcomes[1].status == STATUS_OK
+        solo = _solo("Q7", databases)
+        assert _counted(outcomes[1].stats) == _counted(solo.stats)
+
+    def test_cancel_queued_and_inflight(self, databases):
+        service = QueryService(max_inflight=1, plan_cache=PlanCache())
+        running = service.submit(_request("Q1", databases))
+        queued = service.submit(_request("Q7", databases))
+        service.open()
+        try:
+            service.step()  # admits + runs one round of the first query
+            assert service.cancel(queued)  # still waiting for admission
+            assert service.cancel(running)  # evicted at its next turn
+            assert not service.cancel(999)
+            while service.step():
+                pass
+        finally:
+            service.close()
+        assert service.outcomes[queued].status == STATUS_CANCELLED
+        assert service.outcomes[running].status == STATUS_CANCELLED
+        assert service.outcomes[running].rounds_completed >= 1
+        assert all(
+            service.outcomes[running].memory.resident(worker) == 0
+            for worker in range(WORKERS)
+        )
+        assert service.stats.cancelled == 2
+        assert not service.cancel(running)  # already finished
+
+
+class TestPlanCache:
+    def test_identical_queries_hit_shared_cache(self, databases):
+        service = QueryService(max_inflight=4, plan_cache=PlanCache())
+        for _ in range(3):
+            service.submit(_request("Q1", databases))
+        outcomes = service.run_until_complete()
+        assert [o.status for o in outcomes] == [STATUS_OK] * 3
+        assert [o.cache_hit for o in outcomes] == [False, True, True]
+        assert service.stats.cache_hits == 2
+        assert service.stats.cache_misses == 1
+        # cached plans produce the same rows and counted metrics
+        assert sorted(outcomes[0].rows) == sorted(outcomes[2].rows)
+        assert _counted(outcomes[0].stats) == _counted(outcomes[2].stats)
+
+    def test_explicit_strategy_bypasses_cache(self, databases):
+        service = QueryService(max_inflight=2, plan_cache=PlanCache())
+        service.submit(_request("Q1", databases, strategy="HC_TJ"))
+        (outcome,) = service.run_until_complete()
+        assert outcome.status == STATUS_OK
+        assert outcome.strategy == "HC_TJ"
+        assert service.stats.cache_hits == service.stats.cache_misses == 0
+
+
+class TestTraffic:
+    def test_zipf_mix_reproducible_and_skewed(self):
+        names = ("Q1", "Q2", "Q3", "Q4")
+        trace = zipf_mix(names, 400, exponent=1.0, seed=7)
+        assert trace == zipf_mix(names, 400, exponent=1.0, seed=7)
+        assert trace != zipf_mix(names, 400, exponent=1.0, seed=8)
+        counts = {name: trace.count(name) for name in names}
+        assert counts["Q1"] > counts["Q4"]
+
+    def test_zipf_zero_exponent_is_roughly_uniform(self):
+        trace = zipf_mix(("A", "B"), 1000, exponent=0.0, seed=1)
+        assert 400 < trace.count("A") < 600
+
+    def test_percentile_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.50) == 50
+        assert percentile(values, 0.99) == 99
+        assert percentile(values, 1.0) == 100
+        assert percentile([], 0.5) == 0.0
+
+
+class TestServiceShape:
+    def test_requires_positive_inflight(self):
+        with pytest.raises(ValueError):
+            QueryService(max_inflight=0)
+
+    def test_unparseable_query_fails_cleanly(self, databases):
+        workload = WORKLOADS["Q1"]
+        service = QueryService(plan_cache=PlanCache())
+        query_id = service.submit(
+            QueryRequest(
+                query="this is not datalog",
+                database=databases[workload.unit_dataset],
+                workers=WORKERS,
+            )
+        )
+        outcomes = service.run_until_complete()
+        assert service.outcomes[query_id].status == STATUS_FAILED
+        assert "planning failed" in service.outcomes[query_id].detail
+        assert len(outcomes) == 1
+
+    def test_outcome_counts_cover_every_status(self, databases):
+        service = QueryService(
+            max_inflight=2, memory_tuples=100_000, plan_cache=PlanCache()
+        )
+        service.submit(_request("Q1", databases))
+        service.submit(_request("Q7", databases, deadline_ticks=0))
+        service.submit(_request("Q6", databases, memory_demand=200_000))
+        cancelled = service.submit(_request("Q5", databases))
+        service.cancel(cancelled)
+        service.run_until_complete()
+        counts = service.stats.outcome_counts()
+        assert counts[STATUS_OK] == 1
+        assert counts[STATUS_TIMEOUT] == 1
+        assert counts[STATUS_REJECTED] == 1
+        assert counts[STATUS_CANCELLED] == 1
+        assert sum(counts.values()) == 4
+
+    def test_headroom_constant_sane(self):
+        assert DEMAND_HEADROOM >= 1.0
